@@ -1,0 +1,216 @@
+// Command scdis is the side-channel disassembler CLI.
+//
+// Subcommands:
+//
+//	scdis groups                     print the Table 2 instruction grouping
+//	scdis asm "ADD r16, r17"         assemble one instruction to machine code
+//	scdis decode 0F01 9040 0100      decode machine-code words to assembly
+//	scdis demo                       train templates and disassemble a demo
+//	                                 program from simulated power traces
+//	scdis detect                     run the §5.7 malware-detection case study
+//
+// Flags for demo/detect: -programs, -traces, -seed scale the simulated
+// profiling campaign.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/avr"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/power"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "groups":
+		fmt.Print(experiments.Table2())
+	case "asm":
+		err = runAsm(args)
+	case "decode":
+		err = runDecode(args)
+	case "demo":
+		err = runDemo(args)
+	case "detect":
+		err = runDetect(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scdis:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: scdis <groups|asm|decode|demo|detect> [args]")
+	os.Exit(2)
+}
+
+func runAsm(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("asm needs an instruction string")
+	}
+	for _, line := range args {
+		in, err := avr.Assemble(line)
+		if err != nil {
+			return err
+		}
+		words, err := in.Encode()
+		if err != nil {
+			return err
+		}
+		var hex []string
+		for _, w := range words {
+			hex = append(hex, fmt.Sprintf("%04X", w))
+		}
+		fmt.Printf("%-24s %s   (%s, %d cycle(s))\n", in, strings.Join(hex, " "),
+			in.Class.Group(), avr.SpecOf(in.Class).Cycles)
+	}
+	return nil
+}
+
+func runDecode(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("decode needs hex words")
+	}
+	var words []uint16
+	for _, a := range args {
+		v, err := strconv.ParseUint(strings.TrimPrefix(a, "0x"), 16, 16)
+		if err != nil {
+			return fmt.Errorf("bad word %q: %v", a, err)
+		}
+		words = append(words, uint16(v))
+	}
+	prog, err := avr.DecodeProgram(words)
+	if err != nil {
+		return err
+	}
+	for _, in := range prog {
+		fmt.Println(in)
+	}
+	return nil
+}
+
+func campaignFlags(fs *flag.FlagSet) (*int, *int, *uint64) {
+	programs := fs.Int("programs", 4, "profiling program files per class")
+	traces := fs.Int("traces", 20, "traces per program file")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	return programs, traces, seed
+}
+
+func runDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	programs, traces, seed := campaignFlags(fs)
+	saveTo := fs.String("save", "", "write the trained templates to this file")
+	loadFrom := fs.String("templates", "", "load templates from this file instead of training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := core.DefaultTrainerConfig()
+	cfg.Programs = *programs
+	cfg.TracesPerProgram = *traces
+	cfg.RegisterPrograms = *programs
+	cfg.RegisterTracesPerProgram = *traces
+	cfg.Seed = *seed
+
+	classes := []avr.Class{avr.OpADD, avr.OpADC, avr.OpEOR, avr.OpMOV}
+	var d *core.Disassembler
+	if *loadFrom != "" {
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if d, err = core.Load(f); err != nil {
+			return err
+		}
+		fmt.Printf("loaded templates from %s\n", *loadFrom)
+	} else {
+		fmt.Printf("training templates for %d classes (%d programs x %d traces)...\n",
+			len(classes), cfg.Programs, cfg.TracesPerProgram)
+		var err error
+		if d, err = core.TrainSubset(cfg, classes, true); err != nil {
+			return err
+		}
+		if *saveTo != "" {
+			f, err := os.Create(*saveTo)
+			if err != nil {
+				return err
+			}
+			if err := d.Save(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("templates saved to %s\n", *saveTo)
+		}
+	}
+	program, err := avr.AssembleProgram(`
+		MOV r20, r4
+		ADD r20, r5
+		ADC r21, r6
+		EOR r20, r21
+	`)
+	if err != nil {
+		return err
+	}
+	camp, err := power.NewCampaign(cfg.Power, 0, *seed+1000)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(int64(*seed) + 5))
+	prog := power.NewProgramEnv(cfg.Power, *seed+1000, 2)
+	var runs [][]core.Decoded
+	for r := 0; r < 9; r++ {
+		tr, err := camp.AcquireSegments(rng, prog, program)
+		if err != nil {
+			return err
+		}
+		decs, err := d.Disassemble(tr)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, decs)
+	}
+	fused, err := core.MajorityDecode(runs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nexecuted program            recovered from power traces")
+	for i, in := range program {
+		fmt.Printf("  %-24s  %s\n", in.String(), fused[i].String())
+	}
+	return nil
+}
+
+func runDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	programs, traces, seed := campaignFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := experiments.DefaultScale()
+	sc.Programs = *programs
+	sc.TracesPerProgram = *traces
+	sc.Seed = *seed
+	res, err := experiments.Malware(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
+}

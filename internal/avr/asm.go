@@ -1,0 +1,399 @@
+package avr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses one line of AVR assembly ("ADD r16, r17", "LD r4, X+",
+// "STD Y+5, r2", "BRBS 3, +12", …) into an Instruction. Comments beginning
+// with ';' or '//' are stripped; the mnemonic is case-insensitive.
+func Assemble(line string) (Instruction, error) {
+	src := line
+	if i := strings.Index(src, ";"); i >= 0 {
+		src = src[:i]
+	}
+	if i := strings.Index(src, "//"); i >= 0 {
+		src = src[:i]
+	}
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return Instruction{}, fmt.Errorf("avr: empty assembly line %q", line)
+	}
+	var mnem, rest string
+	if i := strings.IndexAny(src, " \t"); i >= 0 {
+		mnem, rest = src[:i], strings.TrimSpace(src[i+1:])
+	} else {
+		mnem = src
+	}
+	mnem = strings.ToUpper(mnem)
+	var ops []string
+	if rest != "" {
+		for _, o := range strings.Split(rest, ",") {
+			ops = append(ops, strings.TrimSpace(o))
+		}
+	}
+	in, err := assembleOps(mnem, ops)
+	if err != nil {
+		return Instruction{}, fmt.Errorf("avr: %q: %w", line, err)
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, fmt.Errorf("avr: %q: %w", line, err)
+	}
+	return in, nil
+}
+
+// AssembleProgram assembles a newline-separated listing, skipping blank and
+// comment-only lines.
+func AssembleProgram(src string) ([]Instruction, error) {
+	var out []Instruction
+	for lineNo, raw := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(raw)
+		if s == "" || strings.HasPrefix(s, ";") || strings.HasPrefix(s, "//") {
+			continue
+		}
+		in, err := Assemble(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// mnemonicClasses maps unambiguous mnemonics straight to a class. Mnemonics
+// whose class depends on the operands (LD, ST, LDD, STD, LPM, ELPM) are
+// resolved in assembleOps.
+var mnemonicClasses = map[string]Class{
+	"ADD": OpADD, "ADC": OpADC, "SUB": OpSUB, "SBC": OpSBC, "AND": OpAND,
+	"OR": OpOR, "EOR": OpEOR, "CPSE": OpCPSE, "CP": OpCP, "CPC": OpCPC,
+	"MOV": OpMOV, "MOVW": OpMOVW,
+	"ADIW": OpADIW, "SUBI": OpSUBI, "SBCI": OpSBCI, "SBIW": OpSBIW,
+	"ANDI": OpANDI, "ORI": OpORI, "SBR": OpSBR, "CBR": OpCBR, "CPI": OpCPI,
+	"LDI": OpLDI,
+	"COM": OpCOM, "NEG": OpNEG, "INC": OpINC, "DEC": OpDEC, "TST": OpTST,
+	"CLR": OpCLR, "SER": OpSER, "LSL": OpLSL, "LSR": OpLSR, "ROL": OpROL,
+	"ROR": OpROR, "ASR": OpASR, "SWAP": OpSWAP,
+	"RJMP": OpRJMP, "JMP": OpJMP, "BREQ": OpBREQ, "BRNE": OpBRNE,
+	"BRCS": OpBRCS, "BRCC": OpBRCC, "BRSH": OpBRSH, "BRLO": OpBRLO,
+	"BRMI": OpBRMI, "BRPL": OpBRPL, "BRGE": OpBRGE, "BRLT": OpBRLT,
+	"BRHS": OpBRHS, "BRHC": OpBRHC, "BRTS": OpBRTS, "BRTC": OpBRTC,
+	"BRVS": OpBRVS, "BRVC": OpBRVC, "BRIE": OpBRIE, "BRID": OpBRID,
+	"LDS": OpLDS, "STS": OpSTS,
+	"SEC": OpSEC, "CLC": OpCLC, "SEN": OpSEN, "CLN": OpCLN, "SEZ": OpSEZ,
+	"CLZ": OpCLZ, "SEI": OpSEI, "SES": OpSES, "CLS": OpCLS, "SEV": OpSEV,
+	"CLV": OpCLV, "SET": OpSET, "CLT": OpCLT, "SEH": OpSEH, "CLH": OpCLH,
+	"SBRC": OpSBRC, "SBRS": OpSBRS, "SBIC": OpSBIC, "SBIS": OpSBIS,
+	"BRBS": OpBRBS, "BRBC": OpBRBC, "SBI": OpSBI, "CBI": OpCBI,
+	"BST": OpBST, "BLD": OpBLD, "BSET": OpBSET, "BCLR": OpBCLR,
+	"NOP": OpNOP,
+}
+
+func assembleOps(mnem string, ops []string) (Instruction, error) {
+	switch mnem {
+	case "LD":
+		return assembleLoadStore(true, ops)
+	case "ST":
+		return assembleLoadStore(false, ops)
+	case "LDD":
+		return assembleDisp(true, ops)
+	case "STD":
+		return assembleDisp(false, ops)
+	case "LPM", "ELPM":
+		return assembleLPM(mnem, ops)
+	}
+	c, ok := mnemonicClasses[mnem]
+	if !ok {
+		return Instruction{}, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	in := Instruction{Class: c}
+	sp := specs[c]
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s needs %d operand(s), got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	var err error
+	switch sp.Operands {
+	case OperandRdRr:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		in.Rr, err = parseReg(ops[1])
+	case OperandRdK, OperandRdPairK:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		var v int64
+		if v, err = parseNum(ops[1], 0, 255); err != nil {
+			return in, err
+		}
+		in.K = uint8(v)
+	case OperandRd:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		in.Rd, err = parseReg(ops[0])
+	case OperandOff:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		var v int64
+		if v, err = parseNum(ops[0], -2048, 2047); err != nil {
+			return in, err
+		}
+		in.Off = int16(v)
+	case OperandAddr:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		var v int64
+		if v, err = parseNum(ops[0], 0, 0xFFFF); err != nil {
+			return in, err
+		}
+		in.Addr = uint16(v)
+	case OperandRdAddr:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		var v int64
+		if v, err = parseNum(ops[1], 0, 0xFFFF); err != nil {
+			return in, err
+		}
+		in.Addr = uint16(v)
+	case OperandAddrRr:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		var v int64
+		if v, err = parseNum(ops[0], 0, 0xFFFF); err != nil {
+			return in, err
+		}
+		in.Addr = uint16(v)
+		in.Rr, err = parseReg(ops[1])
+	case OperandRrB:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		reg, err2 := parseReg(ops[0])
+		if err2 != nil {
+			return in, err2
+		}
+		if c == OpBST || c == OpBLD {
+			in.Rd = reg
+		} else {
+			in.Rr = reg
+		}
+		var v int64
+		if v, err = parseNum(ops[1], 0, 7); err != nil {
+			return in, err
+		}
+		in.B = uint8(v)
+	case OperandAB:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		var v int64
+		if v, err = parseNum(ops[0], 0, 31); err != nil {
+			return in, err
+		}
+		in.Addr = uint16(v)
+		if v, err = parseNum(ops[1], 0, 7); err != nil {
+			return in, err
+		}
+		in.B = uint8(v)
+	case OperandSOff:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		var v int64
+		if v, err = parseNum(ops[0], 0, 7); err != nil {
+			return in, err
+		}
+		in.S = uint8(v)
+		if v, err = parseNum(ops[1], -64, 63); err != nil {
+			return in, err
+		}
+		in.Off = int16(v)
+	case OperandS:
+		if err = need(1); err != nil {
+			return in, err
+		}
+		var v int64
+		if v, err = parseNum(ops[0], 0, 7); err != nil {
+			return in, err
+		}
+		in.S = uint8(v)
+	case OperandImplied:
+		err = need(0)
+	}
+	return in, err
+}
+
+func assembleLoadStore(load bool, ops []string) (Instruction, error) {
+	if len(ops) != 2 {
+		return Instruction{}, fmt.Errorf("LD/ST need 2 operands, got %d", len(ops))
+	}
+	regOp, ptrOp := ops[0], ops[1]
+	if !load {
+		regOp, ptrOp = ops[1], ops[0]
+	}
+	reg, err := parseReg(regOp)
+	if err != nil {
+		return Instruction{}, err
+	}
+	// Pointer with displacement ("Y+5") is LDD/STD syntax.
+	if base, disp, ok := splitDisp(ptrOp); ok && disp > 0 {
+		return dispInstruction(load, base, disp, reg)
+	}
+	var cls Class
+	switch strings.ToUpper(ptrOp) {
+	case "X":
+		cls = pick(load, OpLDX, OpSTX)
+	case "X+":
+		cls = pick(load, OpLDXInc, OpSTXInc)
+	case "-X":
+		cls = pick(load, OpLDXDec, OpSTXDec)
+	case "Y":
+		cls = pick(load, OpLDY, OpSTY)
+	case "Y+":
+		cls = pick(load, OpLDYInc, OpSTYInc)
+	case "-Y":
+		cls = pick(load, OpLDYDec, OpSTYDec)
+	case "Z":
+		cls = pick(load, OpLDZ, OpSTZ)
+	case "Z+":
+		cls = pick(load, OpLDZInc, OpSTZInc)
+	case "-Z":
+		cls = pick(load, OpLDZDec, OpSTZDec)
+	default:
+		return Instruction{}, fmt.Errorf("bad pointer operand %q", ptrOp)
+	}
+	in := Instruction{Class: cls}
+	if load {
+		in.Rd = reg
+	} else {
+		in.Rr = reg
+	}
+	return in, nil
+}
+
+func assembleDisp(load bool, ops []string) (Instruction, error) {
+	if len(ops) != 2 {
+		return Instruction{}, fmt.Errorf("LDD/STD need 2 operands, got %d", len(ops))
+	}
+	regOp, ptrOp := ops[0], ops[1]
+	if !load {
+		regOp, ptrOp = ops[1], ops[0]
+	}
+	reg, err := parseReg(regOp)
+	if err != nil {
+		return Instruction{}, err
+	}
+	base, disp, ok := splitDisp(ptrOp)
+	if !ok {
+		return Instruction{}, fmt.Errorf("bad displacement operand %q", ptrOp)
+	}
+	return dispInstruction(load, base, disp, reg)
+}
+
+func dispInstruction(load bool, base string, disp int64, reg uint8) (Instruction, error) {
+	var cls Class
+	switch base {
+	case "Y":
+		cls = pick(load, OpLDDY, OpSTDY)
+	case "Z":
+		cls = pick(load, OpLDDZ, OpSTDZ)
+	default:
+		return Instruction{}, fmt.Errorf("displacement base must be Y or Z, got %q", base)
+	}
+	in := Instruction{Class: cls, Q: uint8(disp)}
+	if load {
+		in.Rd = reg
+	} else {
+		in.Rr = reg
+	}
+	return in, nil
+}
+
+func assembleLPM(mnem string, ops []string) (Instruction, error) {
+	elpm := mnem == "ELPM"
+	if len(ops) == 0 {
+		return Instruction{Class: pick(elpm, OpELPM0, OpLPM0)}, nil
+	}
+	if len(ops) != 2 {
+		return Instruction{}, fmt.Errorf("%s needs 0 or 2 operands, got %d", mnem, len(ops))
+	}
+	reg, err := parseReg(ops[0])
+	if err != nil {
+		return Instruction{}, err
+	}
+	var cls Class
+	switch strings.ToUpper(ops[1]) {
+	case "Z":
+		cls = pick(elpm, OpELPM, OpLPM)
+	case "Z+":
+		cls = pick(elpm, OpELPMInc, OpLPMInc)
+	default:
+		return Instruction{}, fmt.Errorf("%s pointer must be Z or Z+, got %q", mnem, ops[1])
+	}
+	return Instruction{Class: cls, Rd: reg}, nil
+}
+
+func pick(cond bool, a, b Class) Class {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// splitDisp splits "Y+12" into ("Y", 12, true).
+func splitDisp(s string) (base string, disp int64, ok bool) {
+	up := strings.ToUpper(strings.TrimSpace(s))
+	i := strings.IndexByte(up, '+')
+	if i != 1 || i == len(up)-1 {
+		return "", 0, false
+	}
+	base = up[:1]
+	v, err := strconv.ParseInt(up[2:], 0, 16)
+	if err != nil || v < 0 || v > 63 {
+		return "", 0, false
+	}
+	return base, v, true
+}
+
+func parseReg(s string) (uint8, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(t, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	v, err := strconv.ParseUint(t[1:], 10, 8)
+	if err != nil || v > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(v), nil
+}
+
+func parseNum(s string, lo, hi int64) (int64, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimPrefix(t, "+")
+	v, err := strconv.ParseInt(t, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %v", s, err)
+	}
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("number %d out of range [%d, %d]", v, lo, hi)
+	}
+	return v, nil
+}

@@ -1,0 +1,160 @@
+package avr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAssembleKnown(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Instruction
+	}{
+		{"ADD r16, r17", Instruction{Class: OpADD, Rd: 16, Rr: 17}},
+		{"add R16, R17", Instruction{Class: OpADD, Rd: 16, Rr: 17}},
+		{"LDI r16, 0xFF", Instruction{Class: OpLDI, Rd: 16, K: 0xFF}},
+		{"LDI r16, 255", Instruction{Class: OpLDI, Rd: 16, K: 0xFF}},
+		{"ADIW r24, 0x3F", Instruction{Class: OpADIW, Rd: 24, K: 0x3F}},
+		{"COM r7", Instruction{Class: OpCOM, Rd: 7}},
+		{"RJMP -3", Instruction{Class: OpRJMP, Off: -3}},
+		{"RJMP +5", Instruction{Class: OpRJMP, Off: 5}},
+		{"BREQ +10", Instruction{Class: OpBREQ, Off: 10}},
+		{"JMP 0x0100", Instruction{Class: OpJMP, Addr: 0x0100}},
+		{"LDS r4, 0x0160", Instruction{Class: OpLDS, Rd: 4, Addr: 0x0160}},
+		{"STS 0x0200, r9", Instruction{Class: OpSTS, Rr: 9, Addr: 0x0200}},
+		{"LD r4, X", Instruction{Class: OpLDX, Rd: 4}},
+		{"LD r4, X+", Instruction{Class: OpLDXInc, Rd: 4}},
+		{"LD r4, -Y", Instruction{Class: OpLDYDec, Rd: 4}},
+		{"LD r4, Z+", Instruction{Class: OpLDZInc, Rd: 4}},
+		{"LDD r4, Y+12", Instruction{Class: OpLDDY, Rd: 4, Q: 12}},
+		{"LDD r4, Z+0", Instruction{Class: OpLDDZ, Rd: 4, Q: 0}},
+		{"ST X+, r20", Instruction{Class: OpSTXInc, Rr: 20}},
+		{"ST -Z, r1", Instruction{Class: OpSTZDec, Rr: 1}},
+		{"STD Y+5, r2", Instruction{Class: OpSTDY, Rr: 2, Q: 5}},
+		{"LD r4, Y+3", Instruction{Class: OpLDDY, Rd: 4, Q: 3}}, // LD with disp promotes to LDD
+		{"SEC", Instruction{Class: OpSEC}},
+		{"CLH", Instruction{Class: OpCLH}},
+		{"SBRC r10, 3", Instruction{Class: OpSBRC, Rr: 10, B: 3}},
+		{"SBI 0x05, 5", Instruction{Class: OpSBI, Addr: 5, B: 5}},
+		{"BRBS 3, +12", Instruction{Class: OpBRBS, S: 3, Off: 12}},
+		{"BSET 4", Instruction{Class: OpBSET, S: 4}},
+		{"BST r4, 2", Instruction{Class: OpBST, Rd: 4, B: 2}},
+		{"BLD r4, 2", Instruction{Class: OpBLD, Rd: 4, B: 2}},
+		{"LPM", Instruction{Class: OpLPM0}},
+		{"LPM r5, Z", Instruction{Class: OpLPM, Rd: 5}},
+		{"LPM r5, Z+", Instruction{Class: OpLPMInc, Rd: 5}},
+		{"ELPM", Instruction{Class: OpELPM0}},
+		{"ELPM r5, Z+", Instruction{Class: OpELPMInc, Rd: 5}},
+		{"NOP", Instruction{Class: OpNOP}},
+		{"MOVW r2, r4", Instruction{Class: OpMOVW, Rd: 2, Rr: 4}},
+		{"EOR r16, r17 ; mask the key", Instruction{Class: OpEOR, Rd: 16, Rr: 17}},
+		{"EOR r16, r0 // malware", Instruction{Class: OpEOR, Rd: 16, Rr: 0}},
+		{"TST r9", Instruction{Class: OpTST, Rd: 9}},
+		{"CBR r17, 0x0F", Instruction{Class: OpCBR, Rd: 17, K: 0x0F}},
+	}
+	for _, tc := range cases {
+		got, err := Assemble(tc.src)
+		if err != nil {
+			t.Fatalf("Assemble(%q): %v", tc.src, err)
+		}
+		if got != tc.want {
+			t.Fatalf("Assemble(%q) = %+v, want %+v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestAssembleRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"FROB r1",
+		"ADD r16",
+		"ADD r16, r17, r18",
+		"LDI r5, 1",    // register range
+		"LDI r16, 300", // immediate range
+		"LD r4, W",
+		"LD r4, Y+99",
+		"LPM r5, Y",
+		"SBI 0x40, 1",
+		"BREQ +100",
+		"ADD rx, r1",
+		"SBRC r10, 9",
+		"; only a comment",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Fatalf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestAssembleStringRoundTrip(t *testing.T) {
+	// Instruction → String() → Assemble must reproduce the instruction for
+	// every classified class.
+	rng := rand.New(rand.NewSource(99))
+	for _, c := range append(AllClasses(), OpNOP) {
+		for trial := 0; trial < 20; trial++ {
+			in := RandomOperands(rng, c)
+			text := in.String()
+			back, err := Assemble(text)
+			if err != nil {
+				t.Fatalf("%v: Assemble(%q): %v", c, text, err)
+			}
+			// LD/ST with q=0 displacement text parses back to the plain
+			// pointer form; compare canonically.
+			if Canonical(back) != Canonical(in) {
+				t.Fatalf("%v: %q → %+v, want %+v", c, text, back, in)
+			}
+		}
+	}
+}
+
+func TestAssembleProgram(t *testing.T) {
+	src := `
+		; masked AES subkey xor
+		LDI r16, 0x5A
+		LDI r17, 0x3C
+		EOR r16, r17
+
+		NOP
+	`
+	prog, err := AssembleProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 4 {
+		t.Fatalf("assembled %d instructions, want 4", len(prog))
+	}
+	if prog[2].Class != OpEOR || prog[2].Rd != 16 || prog[2].Rr != 17 {
+		t.Fatalf("prog[2] = %+v", prog[2])
+	}
+	if _, err := AssembleProgram("ADD r1, r2\nBOGUS"); err == nil {
+		t.Fatal("want error for bad line")
+	}
+	if err != nil && strings.Contains(err.Error(), "line") {
+		t.Fatal("unexpected")
+	}
+}
+
+func TestStringOutputStable(t *testing.T) {
+	cases := map[string]Instruction{
+		"ADD r16, r17":   {Class: OpADD, Rd: 16, Rr: 17},
+		"LDI r16, 0xFF":  {Class: OpLDI, Rd: 16, K: 0xFF},
+		"LD r4, X+":      {Class: OpLDXInc, Rd: 4},
+		"STD Y+5, r2":    {Class: OpSTDY, Rr: 2, Q: 5},
+		"BRBS 3, +12":    {Class: OpBRBS, S: 3, Off: 12},
+		"RJMP -3":        {Class: OpRJMP, Off: -3},
+		"SBI 0x05, 5":    {Class: OpSBI, Addr: 5, B: 5},
+		"LDS r4, 0x0160": {Class: OpLDS, Rd: 4, Addr: 0x0160},
+		"STS 0x0200, r9": {Class: OpSTS, Rr: 9, Addr: 0x0200},
+		"SEC":            {Class: OpSEC},
+		"LPM":            {Class: OpLPM0},
+		"LPM r5, Z+":     {Class: OpLPMInc, Rd: 5},
+		"JMP 0x0100":     {Class: OpJMP, Addr: 0x0100},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Fatalf("String(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}

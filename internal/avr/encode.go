@@ -1,0 +1,271 @@
+package avr
+
+import "fmt"
+
+// Encode returns the machine-code words (1 or 2 little-endian 16-bit words,
+// in program order) for the instruction, following the AVR instruction set
+// manual encodings.
+func (in Instruction) Encode() ([]uint16, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	d := uint16(in.Rd)
+	r := uint16(in.Rr)
+	k8 := uint16(in.K)
+	b := uint16(in.B)
+	s := uint16(in.S)
+	q := uint16(in.Q)
+	a := in.Addr
+
+	twoReg := func(base uint16, d, r uint16) uint16 {
+		return base | (r&0x10)<<5 | (d&0x1F)<<4 | (r & 0x0F)
+	}
+	imm := func(base uint16) uint16 {
+		return base | (k8&0xF0)<<4 | (d-16)<<4 | (k8 & 0x0F)
+	}
+	oneReg := func(low uint16) uint16 { return 0x9400 | d<<4 | low }
+	brbs := func(set bool, sbit uint16, off int16) uint16 {
+		base := uint16(0xF000)
+		if !set {
+			base = 0xF400
+		}
+		return base | (uint16(off)&0x7F)<<3 | sbit
+	}
+	ldstDisp := func(base uint16, reg uint16) uint16 {
+		return base | (q&0x20)<<8 | (q&0x18)<<7 | (q & 0x07) | reg<<4
+	}
+
+	switch in.Class {
+	case OpADD:
+		return []uint16{twoReg(0x0C00, d, r)}, nil
+	case OpADC:
+		return []uint16{twoReg(0x1C00, d, r)}, nil
+	case OpSUB:
+		return []uint16{twoReg(0x1800, d, r)}, nil
+	case OpSBC:
+		return []uint16{twoReg(0x0800, d, r)}, nil
+	case OpAND:
+		return []uint16{twoReg(0x2000, d, r)}, nil
+	case OpOR:
+		return []uint16{twoReg(0x2800, d, r)}, nil
+	case OpEOR:
+		return []uint16{twoReg(0x2400, d, r)}, nil
+	case OpCPSE:
+		return []uint16{twoReg(0x1000, d, r)}, nil
+	case OpCP:
+		return []uint16{twoReg(0x1400, d, r)}, nil
+	case OpCPC:
+		return []uint16{twoReg(0x0400, d, r)}, nil
+	case OpMOV:
+		return []uint16{twoReg(0x2C00, d, r)}, nil
+	case OpMOVW:
+		return []uint16{0x0100 | (d/2)<<4 | (r / 2)}, nil
+
+	case OpADIW:
+		return []uint16{0x9600 | (k8&0x30)<<2 | ((d - 24) / 2 << 4) | (k8 & 0x0F)}, nil
+	case OpSBIW:
+		return []uint16{0x9700 | (k8&0x30)<<2 | ((d - 24) / 2 << 4) | (k8 & 0x0F)}, nil
+	case OpSUBI:
+		return []uint16{imm(0x5000)}, nil
+	case OpSBCI:
+		return []uint16{imm(0x4000)}, nil
+	case OpANDI:
+		return []uint16{imm(0x7000)}, nil
+	case OpORI, OpSBR:
+		return []uint16{imm(0x6000)}, nil
+	case OpCBR:
+		// CBR Rd, K is ANDI Rd, ~K.
+		k8 = uint16(^in.K)
+		return []uint16{0x7000 | (k8&0xF0)<<4 | (d-16)<<4 | (k8 & 0x0F)}, nil
+	case OpCPI:
+		return []uint16{imm(0x3000)}, nil
+	case OpLDI:
+		return []uint16{imm(0xE000)}, nil
+
+	case OpCOM:
+		return []uint16{oneReg(0x0)}, nil
+	case OpNEG:
+		return []uint16{oneReg(0x1)}, nil
+	case OpSWAP:
+		return []uint16{oneReg(0x2)}, nil
+	case OpINC:
+		return []uint16{oneReg(0x3)}, nil
+	case OpASR:
+		return []uint16{oneReg(0x5)}, nil
+	case OpLSR:
+		return []uint16{oneReg(0x6)}, nil
+	case OpROR:
+		return []uint16{oneReg(0x7)}, nil
+	case OpDEC:
+		return []uint16{oneReg(0xA)}, nil
+	case OpTST:
+		return []uint16{twoReg(0x2000, d, d)}, nil
+	case OpCLR:
+		return []uint16{twoReg(0x2400, d, d)}, nil
+	case OpLSL:
+		return []uint16{twoReg(0x0C00, d, d)}, nil
+	case OpROL:
+		return []uint16{twoReg(0x1C00, d, d)}, nil
+	case OpSER:
+		return []uint16{0xE000 | 0x0F00 | (d-16)<<4 | 0x0F}, nil // LDI Rd, 0xFF
+
+	case OpRJMP:
+		return []uint16{0xC000 | uint16(in.Off)&0x0FFF}, nil
+	case OpJMP:
+		return []uint16{0x940C, a}, nil
+	case OpBREQ:
+		return []uint16{brbs(true, 1, in.Off)}, nil
+	case OpBRNE:
+		return []uint16{brbs(false, 1, in.Off)}, nil
+	case OpBRCS, OpBRLO:
+		return []uint16{brbs(true, 0, in.Off)}, nil
+	case OpBRCC, OpBRSH:
+		return []uint16{brbs(false, 0, in.Off)}, nil
+	case OpBRMI:
+		return []uint16{brbs(true, 2, in.Off)}, nil
+	case OpBRPL:
+		return []uint16{brbs(false, 2, in.Off)}, nil
+	case OpBRVS:
+		return []uint16{brbs(true, 3, in.Off)}, nil
+	case OpBRVC:
+		return []uint16{brbs(false, 3, in.Off)}, nil
+	case OpBRLT:
+		return []uint16{brbs(true, 4, in.Off)}, nil
+	case OpBRGE:
+		return []uint16{brbs(false, 4, in.Off)}, nil
+	case OpBRHS:
+		return []uint16{brbs(true, 5, in.Off)}, nil
+	case OpBRHC:
+		return []uint16{brbs(false, 5, in.Off)}, nil
+	case OpBRTS:
+		return []uint16{brbs(true, 6, in.Off)}, nil
+	case OpBRTC:
+		return []uint16{brbs(false, 6, in.Off)}, nil
+	case OpBRIE:
+		return []uint16{brbs(true, 7, in.Off)}, nil
+	case OpBRID:
+		return []uint16{brbs(false, 7, in.Off)}, nil
+	case OpBRBS:
+		return []uint16{brbs(true, s, in.Off)}, nil
+	case OpBRBC:
+		return []uint16{brbs(false, s, in.Off)}, nil
+
+	case OpLDS:
+		return []uint16{0x9000 | d<<4, a}, nil
+	case OpSTS:
+		return []uint16{0x9200 | r<<4, a}, nil
+	case OpLDX:
+		return []uint16{0x900C | d<<4}, nil
+	case OpLDXInc:
+		return []uint16{0x900D | d<<4}, nil
+	case OpLDXDec:
+		return []uint16{0x900E | d<<4}, nil
+	case OpLDY:
+		return []uint16{0x8008 | d<<4}, nil
+	case OpLDYInc:
+		return []uint16{0x9009 | d<<4}, nil
+	case OpLDYDec:
+		return []uint16{0x900A | d<<4}, nil
+	case OpLDZ:
+		return []uint16{0x8000 | d<<4}, nil
+	case OpLDZInc:
+		return []uint16{0x9001 | d<<4}, nil
+	case OpLDZDec:
+		return []uint16{0x9002 | d<<4}, nil
+	case OpLDDY:
+		return []uint16{ldstDisp(0x8008, d)}, nil
+	case OpLDDZ:
+		return []uint16{ldstDisp(0x8000, d)}, nil
+	case OpSTX:
+		return []uint16{0x920C | r<<4}, nil
+	case OpSTXInc:
+		return []uint16{0x920D | r<<4}, nil
+	case OpSTXDec:
+		return []uint16{0x920E | r<<4}, nil
+	case OpSTY:
+		return []uint16{0x8208 | r<<4}, nil
+	case OpSTYInc:
+		return []uint16{0x9209 | r<<4}, nil
+	case OpSTYDec:
+		return []uint16{0x920A | r<<4}, nil
+	case OpSTZ:
+		return []uint16{0x8200 | r<<4}, nil
+	case OpSTZInc:
+		return []uint16{0x9201 | r<<4}, nil
+	case OpSTZDec:
+		return []uint16{0x9202 | r<<4}, nil
+	case OpSTDY:
+		return []uint16{ldstDisp(0x8208, r)}, nil
+	case OpSTDZ:
+		return []uint16{ldstDisp(0x8200, r)}, nil
+
+	case OpSEC:
+		return []uint16{0x9408}, nil
+	case OpSEZ:
+		return []uint16{0x9418}, nil
+	case OpSEN:
+		return []uint16{0x9428}, nil
+	case OpSEV:
+		return []uint16{0x9438}, nil
+	case OpSES:
+		return []uint16{0x9448}, nil
+	case OpSEH:
+		return []uint16{0x9458}, nil
+	case OpSET:
+		return []uint16{0x9468}, nil
+	case OpSEI:
+		return []uint16{0x9478}, nil
+	case OpCLC:
+		return []uint16{0x9488}, nil
+	case OpCLZ:
+		return []uint16{0x9498}, nil
+	case OpCLN:
+		return []uint16{0x94A8}, nil
+	case OpCLV:
+		return []uint16{0x94B8}, nil
+	case OpCLS:
+		return []uint16{0x94C8}, nil
+	case OpCLH:
+		return []uint16{0x94D8}, nil
+	case OpCLT:
+		return []uint16{0x94E8}, nil
+	case OpBSET:
+		return []uint16{0x9408 | s<<4}, nil
+	case OpBCLR:
+		return []uint16{0x9488 | s<<4}, nil
+
+	case OpSBRC:
+		return []uint16{0xFC00 | r<<4 | b}, nil
+	case OpSBRS:
+		return []uint16{0xFE00 | r<<4 | b}, nil
+	case OpSBIC:
+		return []uint16{0x9900 | a<<3 | b}, nil
+	case OpSBIS:
+		return []uint16{0x9B00 | a<<3 | b}, nil
+	case OpSBI:
+		return []uint16{0x9A00 | a<<3 | b}, nil
+	case OpCBI:
+		return []uint16{0x9800 | a<<3 | b}, nil
+	case OpBST:
+		return []uint16{0xFA00 | d<<4 | b}, nil
+	case OpBLD:
+		return []uint16{0xF800 | d<<4 | b}, nil
+
+	case OpLPM0:
+		return []uint16{0x95C8}, nil
+	case OpLPM:
+		return []uint16{0x9004 | d<<4}, nil
+	case OpLPMInc:
+		return []uint16{0x9005 | d<<4}, nil
+	case OpELPM0:
+		return []uint16{0x95D8}, nil
+	case OpELPM:
+		return []uint16{0x9006 | d<<4}, nil
+	case OpELPMInc:
+		return []uint16{0x9007 | d<<4}, nil
+
+	case OpNOP:
+		return []uint16{0x0000}, nil
+	}
+	return nil, fmt.Errorf("avr: no encoding for class %v", in.Class)
+}

@@ -1,0 +1,224 @@
+package avr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// knownEncodings are hand-checked against the AVR instruction set manual.
+var knownEncodings = []struct {
+	in   Instruction
+	want []uint16
+}{
+	{Instruction{Class: OpNOP}, []uint16{0x0000}},
+	{Instruction{Class: OpADD, Rd: 16, Rr: 17}, []uint16{0x0F01}},
+	{Instruction{Class: OpADC, Rd: 0, Rr: 31}, []uint16{0x1E0F}},
+	{Instruction{Class: OpSUB, Rd: 5, Rr: 5}, []uint16{0x1855}},
+	{Instruction{Class: OpEOR, Rd: 16, Rr: 17}, []uint16{0x2701}},
+	{Instruction{Class: OpMOV, Rd: 1, Rr: 2}, []uint16{0x2C12}},
+	{Instruction{Class: OpMOVW, Rd: 2, Rr: 4}, []uint16{0x0112}},
+	{Instruction{Class: OpLDI, Rd: 16, K: 0xFF}, []uint16{0xEF0F}},
+	{Instruction{Class: OpLDI, Rd: 31, K: 0x42}, []uint16{0xE4F2}},
+	{Instruction{Class: OpSUBI, Rd: 20, K: 0x10}, []uint16{0x5140}},
+	{Instruction{Class: OpANDI, Rd: 16, K: 0x0F}, []uint16{0x700F}},
+	{Instruction{Class: OpADIW, Rd: 24, K: 1}, []uint16{0x9601}},
+	{Instruction{Class: OpADIW, Rd: 30, K: 63}, []uint16{0x96FF}},
+	{Instruction{Class: OpSBIW, Rd: 26, K: 16}, []uint16{0x9750}},
+	{Instruction{Class: OpCOM, Rd: 7}, []uint16{0x9470}},
+	{Instruction{Class: OpNEG, Rd: 31}, []uint16{0x95F1}},
+	{Instruction{Class: OpINC, Rd: 0}, []uint16{0x9403}},
+	{Instruction{Class: OpDEC, Rd: 17}, []uint16{0x951A}},
+	{Instruction{Class: OpLSR, Rd: 3}, []uint16{0x9436}},
+	{Instruction{Class: OpSWAP, Rd: 12}, []uint16{0x94C2}},
+	{Instruction{Class: OpRJMP, Off: -1}, []uint16{0xCFFF}},
+	{Instruction{Class: OpRJMP, Off: 5}, []uint16{0xC005}},
+	{Instruction{Class: OpJMP, Addr: 0x0123}, []uint16{0x940C, 0x0123}},
+	{Instruction{Class: OpBREQ, Off: 3}, []uint16{0xF019}},
+	{Instruction{Class: OpBRNE, Off: -2}, []uint16{0xF7F1}},
+	{Instruction{Class: OpBRCS, Off: 0}, []uint16{0xF000}},
+	{Instruction{Class: OpLDS, Rd: 4, Addr: 0x0100}, []uint16{0x9040, 0x0100}},
+	{Instruction{Class: OpSTS, Rr: 9, Addr: 0x0200}, []uint16{0x9290, 0x0200}},
+	{Instruction{Class: OpLDX, Rd: 6}, []uint16{0x906C}},
+	{Instruction{Class: OpLDXInc, Rd: 6}, []uint16{0x906D}},
+	{Instruction{Class: OpLDYDec, Rd: 1}, []uint16{0x901A}},
+	{Instruction{Class: OpLDZ, Rd: 2}, []uint16{0x8020}},
+	{Instruction{Class: OpLDY, Rd: 2}, []uint16{0x8028}},
+	{Instruction{Class: OpLDDY, Rd: 3, Q: 5}, []uint16{0x803D}},
+	{Instruction{Class: OpLDDZ, Rd: 3, Q: 33}, []uint16{0xA031}},
+	{Instruction{Class: OpSTX, Rr: 20}, []uint16{0x934C}},
+	{Instruction{Class: OpSTZInc, Rr: 8}, []uint16{0x9281}},
+	{Instruction{Class: OpSTDY, Rr: 2, Q: 1}, []uint16{0x8229}},
+	{Instruction{Class: OpSEC}, []uint16{0x9408}},
+	{Instruction{Class: OpSEI}, []uint16{0x9478}},
+	{Instruction{Class: OpCLC}, []uint16{0x9488}},
+	{Instruction{Class: OpCLT}, []uint16{0x94E8}},
+	{Instruction{Class: OpSBRC, Rr: 10, B: 3}, []uint16{0xFCA3}},
+	{Instruction{Class: OpSBRS, Rr: 31, B: 7}, []uint16{0xFFF7}},
+	{Instruction{Class: OpSBI, Addr: 0x05, B: 5}, []uint16{0x9A2D}},
+	{Instruction{Class: OpCBI, Addr: 0x05, B: 5}, []uint16{0x982D}},
+	{Instruction{Class: OpSBIC, Addr: 0x1F, B: 0}, []uint16{0x99F8}},
+	{Instruction{Class: OpBST, Rd: 4, B: 2}, []uint16{0xFA42}},
+	{Instruction{Class: OpBLD, Rd: 4, B: 2}, []uint16{0xF842}},
+	{Instruction{Class: OpLPM0}, []uint16{0x95C8}},
+	{Instruction{Class: OpLPM, Rd: 5}, []uint16{0x9054}},
+	{Instruction{Class: OpLPMInc, Rd: 5}, []uint16{0x9055}},
+	{Instruction{Class: OpELPM0}, []uint16{0x95D8}},
+}
+
+func TestKnownEncodings(t *testing.T) {
+	for _, tc := range knownEncodings {
+		got, err := tc.in.Encode()
+		if err != nil {
+			t.Fatalf("%v: %v", tc.in, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("%v: encoded %d words, want %d", tc.in, len(got), len(tc.want))
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%v: word %d = 0x%04X, want 0x%04X", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestKnownDecodings(t *testing.T) {
+	for _, tc := range knownEncodings {
+		dec, n, err := Decode(tc.want)
+		if err != nil {
+			t.Fatalf("decode %v: %v", tc.want, err)
+		}
+		if n != len(tc.want) {
+			t.Fatalf("decode %v consumed %d words, want %d", tc.want, n, len(tc.want))
+		}
+		want := Canonical(tc.in)
+		if dec != want {
+			t.Fatalf("decode %04X = %+v, want %+v", tc.want, dec, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripAllClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	classes := append(AllClasses(), OpNOP)
+	for _, c := range classes {
+		for trial := 0; trial < 50; trial++ {
+			in := RandomOperands(rng, c)
+			words, err := in.Encode()
+			if err != nil {
+				t.Fatalf("%v: encode: %v", in, err)
+			}
+			dec, n, err := Decode(words)
+			if err != nil {
+				t.Fatalf("%v (words %04X): decode: %v", in, words, err)
+			}
+			if n != len(words) {
+				t.Fatalf("%v: decode consumed %d of %d words", in, n, len(words))
+			}
+			want := Canonical(in)
+			if dec != want {
+				t.Fatalf("round trip %v → %04X → %+v, want %+v", in, words, dec, want)
+			}
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	for _, w := range []uint16{0x940C /* JMP */, 0x9040 /* LDS */, 0x9290 /* STS */} {
+		if _, _, err := Decode([]uint16{w}); err == nil {
+			t.Fatalf("decode of truncated 0x%04X should fail", w)
+		}
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("decode of empty stream should fail")
+	}
+}
+
+func TestDecodeUnknownWord(t *testing.T) {
+	// 0x9509 (ICALL region) is not in our modeled subset.
+	if _, _, err := Decode([]uint16{0xFF0F}); err == nil {
+		t.Fatal("expected decode error for unmodeled opcode")
+	}
+}
+
+func TestValidateRejectsBadOperands(t *testing.T) {
+	bad := []Instruction{
+		{Class: OpLDI, Rd: 5, K: 1},     // LDI needs r16–r31
+		{Class: OpADIW, Rd: 25, K: 1},   // ADIW needs even pair ≥24
+		{Class: OpADIW, Rd: 24, K: 64},  // 6-bit immediate
+		{Class: OpMOVW, Rd: 3, Rr: 2},   // odd Rd
+		{Class: OpMOVW, Rd: 2, Rr: 3},   // odd Rr
+		{Class: OpBREQ, Off: 100},       // ±64 branch range
+		{Class: OpRJMP, Off: 3000},      // ±2048 rjmp range
+		{Class: OpSBI, Addr: 40, B: 1},  // 5-bit I/O address
+		{Class: OpSBI, Addr: 3, B: 9},   // bit index
+		{Class: OpBSET, S: 8},           // SREG bit
+		{Class: OpLDDY, Rd: 1, Q: 70},   // 6-bit displacement
+		{Class: OpSER, Rd: 2},           // SER needs r16–r31
+		{Class: OpSBRC, Rr: 40, B: 1},   // register range
+		{Class: Class(200)},             // invalid class
+		{Class: OpBRBS, S: 3, Off: -80}, // branch offset
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) should fail", in)
+		}
+		if _, err := in.Encode(); err == nil {
+			t.Fatalf("Encode(%+v) should fail", in)
+		}
+	}
+}
+
+func TestCanonicalAliases(t *testing.T) {
+	cases := []struct{ in, want Instruction }{
+		{Instruction{Class: OpTST, Rd: 9}, Instruction{Class: OpAND, Rd: 9, Rr: 9}},
+		{Instruction{Class: OpCLR, Rd: 9}, Instruction{Class: OpEOR, Rd: 9, Rr: 9}},
+		{Instruction{Class: OpLSL, Rd: 9}, Instruction{Class: OpADD, Rd: 9, Rr: 9}},
+		{Instruction{Class: OpROL, Rd: 9}, Instruction{Class: OpADC, Rd: 9, Rr: 9}},
+		{Instruction{Class: OpSER, Rd: 20}, Instruction{Class: OpLDI, Rd: 20, K: 0xFF}},
+		{Instruction{Class: OpSBR, Rd: 20, K: 3}, Instruction{Class: OpORI, Rd: 20, K: 3}},
+		{Instruction{Class: OpCBR, Rd: 20, K: 0x0F}, Instruction{Class: OpANDI, Rd: 20, K: 0xF0}},
+		{Instruction{Class: OpBRLO, Off: 4}, Instruction{Class: OpBRCS, Off: 4}},
+		{Instruction{Class: OpBRSH, Off: 4}, Instruction{Class: OpBRCC, Off: 4}},
+		{Instruction{Class: OpBRBS, S: 1, Off: 2}, Instruction{Class: OpBREQ, S: 1, Off: 2}},
+		{Instruction{Class: OpBRBC, S: 7, Off: 2}, Instruction{Class: OpBRID, S: 7, Off: 2}},
+		{Instruction{Class: OpBSET, S: 0}, Instruction{Class: OpSEC, S: 0}},
+		{Instruction{Class: OpBCLR, S: 6}, Instruction{Class: OpCLT, S: 6}},
+		{Instruction{Class: OpLDDY, Rd: 2, Q: 0}, Instruction{Class: OpLDY, Rd: 2}},
+		{Instruction{Class: OpSTDZ, Rr: 2, Q: 0}, Instruction{Class: OpSTZ, Rr: 2}},
+	}
+	for _, tc := range cases {
+		if got := Canonical(tc.in); got != tc.want {
+			t.Fatalf("Canonical(%+v) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDecodeProgram(t *testing.T) {
+	prog := []Instruction{
+		{Class: OpLDI, Rd: 16, K: 0xAA},
+		{Class: OpLDS, Rd: 17, Addr: 0x0123},
+		{Class: OpADD, Rd: 16, Rr: 17},
+		{Class: OpNOP},
+	}
+	var words []uint16
+	for _, in := range prog {
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		words = append(words, w...)
+	}
+	dec, err := DecodeProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(prog) {
+		t.Fatalf("decoded %d instructions, want %d", len(dec), len(prog))
+	}
+	for i := range prog {
+		if dec[i] != Canonical(prog[i]) {
+			t.Fatalf("program[%d] = %+v, want %+v", i, dec[i], Canonical(prog[i]))
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package avr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction is one concrete AVR instruction: a class plus operand values.
+// Unused operand fields are zero.
+type Instruction struct {
+	Class Class
+	Rd    uint8  // destination register (also the single register of group 3)
+	Rr    uint8  // source register
+	K     uint8  // immediate (8-bit; 6-bit for ADIW/SBIW)
+	Off   int16  // signed PC-relative word offset (RJMP ±2048, branches ±64)
+	Addr  uint16 // absolute address: data space (LDS/STS), flash (JMP), I/O (A)
+	B     uint8  // bit index 0–7
+	S     uint8  // SREG bit 0–7
+	Q     uint8  // displacement 0–63 (LDD/STD)
+}
+
+// Validate checks that every operand is within the encodable range for the
+// instruction class.
+func (in Instruction) Validate() error {
+	if int(in.Class) >= int(numClasses) {
+		return fmt.Errorf("avr: invalid class %d", in.Class)
+	}
+	sp := specs[in.Class]
+	checkRd := func(r uint8) error {
+		if r < sp.RdMin || r > sp.RdMax {
+			return fmt.Errorf("avr: %s: register r%d out of range [r%d, r%d]", sp.Name, r, sp.RdMin, sp.RdMax)
+		}
+		if sp.RdEven && r%2 != 0 {
+			return fmt.Errorf("avr: %s: register r%d must be even", sp.Name, r)
+		}
+		return nil
+	}
+	switch sp.Operands {
+	case OperandRdRr:
+		if err := checkRd(in.Rd); err != nil {
+			return err
+		}
+		if in.Rr > 31 {
+			return fmt.Errorf("avr: %s: source register r%d out of range", sp.Name, in.Rr)
+		}
+		if in.Class == OpMOVW && in.Rr%2 != 0 {
+			return fmt.Errorf("avr: MOVW: source register r%d must be even", in.Rr)
+		}
+	case OperandRdK:
+		if err := checkRd(in.Rd); err != nil {
+			return err
+		}
+	case OperandRdPairK:
+		if err := checkRd(in.Rd); err != nil {
+			return err
+		}
+		if in.K > 63 {
+			return fmt.Errorf("avr: %s: immediate %d exceeds 6 bits", sp.Name, in.K)
+		}
+	case OperandRd:
+		if err := checkRd(in.Rd); err != nil {
+			return err
+		}
+	case OperandOff:
+		lim := int16(63)
+		if in.Class == OpRJMP {
+			lim = 2047
+		}
+		if in.Off < -lim-1 || in.Off > lim {
+			return fmt.Errorf("avr: %s: offset %d out of range ±%d", sp.Name, in.Off, lim)
+		}
+	case OperandAddr:
+		// JMP: 22-bit flash word address; we model 16 bits of it.
+	case OperandRdAddr, OperandAddrRr:
+		if err := checkRd(in.regOperand()); err != nil {
+			return err
+		}
+	case OperandRdPtr, OperandPtrRr, OperandRdZ:
+		if err := checkRd(in.regOperand()); err != nil {
+			return err
+		}
+	case OperandRdQ, OperandQRr:
+		if err := checkRd(in.regOperand()); err != nil {
+			return err
+		}
+		if in.Q > 63 {
+			return fmt.Errorf("avr: %s: displacement %d exceeds 6 bits", sp.Name, in.Q)
+		}
+	case OperandRrB:
+		if err := checkRd(in.regOperand()); err != nil {
+			return err
+		}
+		if in.B > 7 {
+			return fmt.Errorf("avr: %s: bit %d out of range", sp.Name, in.B)
+		}
+	case OperandAB:
+		if in.Addr > 31 {
+			return fmt.Errorf("avr: %s: I/O address %d exceeds 5 bits", sp.Name, in.Addr)
+		}
+		if in.B > 7 {
+			return fmt.Errorf("avr: %s: bit %d out of range", sp.Name, in.B)
+		}
+	case OperandSOff:
+		if in.S > 7 {
+			return fmt.Errorf("avr: %s: SREG bit %d out of range", sp.Name, in.S)
+		}
+		if in.Off < -64 || in.Off > 63 {
+			return fmt.Errorf("avr: %s: offset %d out of range ±64", sp.Name, in.Off)
+		}
+	case OperandS:
+		if in.S > 7 {
+			return fmt.Errorf("avr: %s: SREG bit %d out of range", sp.Name, in.S)
+		}
+	case OperandImplied, OperandNone:
+		// nothing to check
+	}
+	return nil
+}
+
+// regOperand returns the register operand regardless of whether the class
+// names it Rd (loads) or Rr (stores, bit tests).
+func (in Instruction) regOperand() uint8 {
+	switch specs[in.Class].Operands {
+	case OperandAddrRr, OperandPtrRr, OperandQRr:
+		return in.Rr
+	case OperandRrB:
+		switch in.Class {
+		case OpBST, OpBLD:
+			return in.Rd
+		default:
+			return in.Rr
+		}
+	default:
+		return in.Rd
+	}
+}
+
+// String renders the instruction in assembler syntax, e.g. "ADD r16, r17",
+// "LD r4, X+", "BRBS 3, +12".
+func (in Instruction) String() string {
+	sp := specs[in.Class]
+	var b strings.Builder
+	b.WriteString(sp.Name)
+	switch sp.Operands {
+	case OperandRdRr:
+		fmt.Fprintf(&b, " r%d, r%d", in.Rd, in.Rr)
+	case OperandRdK, OperandRdPairK:
+		fmt.Fprintf(&b, " r%d, 0x%02X", in.Rd, in.K)
+	case OperandRd:
+		fmt.Fprintf(&b, " r%d", in.Rd)
+	case OperandOff:
+		fmt.Fprintf(&b, " %+d", in.Off)
+	case OperandAddr:
+		fmt.Fprintf(&b, " 0x%04X", in.Addr)
+	case OperandRdAddr:
+		fmt.Fprintf(&b, " r%d, 0x%04X", in.Rd, in.Addr)
+	case OperandAddrRr:
+		fmt.Fprintf(&b, " 0x%04X, r%d", in.Addr, in.Rr)
+	case OperandRdPtr, OperandRdZ:
+		fmt.Fprintf(&b, " r%d, %s", in.Rd, ptrSyntax(in.Class))
+	case OperandPtrRr:
+		fmt.Fprintf(&b, " %s, r%d", ptrSyntax(in.Class), in.Rr)
+	case OperandRdQ:
+		fmt.Fprintf(&b, " r%d, %s+%d", in.Rd, dispBase(in.Class), in.Q)
+	case OperandQRr:
+		fmt.Fprintf(&b, " %s+%d, r%d", dispBase(in.Class), in.Q, in.Rr)
+	case OperandRrB:
+		fmt.Fprintf(&b, " r%d, %d", in.regOperand(), in.B)
+	case OperandAB:
+		fmt.Fprintf(&b, " 0x%02X, %d", in.Addr, in.B)
+	case OperandSOff:
+		fmt.Fprintf(&b, " %d, %+d", in.S, in.Off)
+	case OperandS:
+		fmt.Fprintf(&b, " %d", in.S)
+	}
+	return b.String()
+}
+
+// PointerToken returns the pointer operand text ("X+", "-Y", "Z", …) for
+// LD/ST/LPM addressing-mode variants, or "?" for other classes.
+func PointerToken(c Class) string { return ptrSyntax(c) }
+
+// ptrSyntax returns the pointer operand text for LD/ST/LPM variants.
+func ptrSyntax(c Class) string {
+	switch c {
+	case OpLDX, OpSTX:
+		return "X"
+	case OpLDXInc, OpSTXInc:
+		return "X+"
+	case OpLDXDec, OpSTXDec:
+		return "-X"
+	case OpLDY, OpSTY:
+		return "Y"
+	case OpLDYInc, OpSTYInc:
+		return "Y+"
+	case OpLDYDec, OpSTYDec:
+		return "-Y"
+	case OpLDZ, OpSTZ, OpLPM, OpELPM:
+		return "Z"
+	case OpLDZInc, OpSTZInc, OpLPMInc, OpELPMInc:
+		return "Z+"
+	case OpLDZDec, OpSTZDec:
+		return "-Z"
+	}
+	return "?"
+}
+
+func dispBase(c Class) string {
+	switch c {
+	case OpLDDY, OpSTDY:
+		return "Y"
+	case OpLDDZ, OpSTDZ:
+		return "Z"
+	}
+	return "?"
+}

@@ -1,0 +1,582 @@
+package avr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func exec(t *testing.T, m *Machine, src string) Activity {
+	t.Helper()
+	in, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble %q: %v", src, err)
+	}
+	act, err := m.Exec(in)
+	if err != nil {
+		t.Fatalf("exec %q: %v", src, err)
+	}
+	return act
+}
+
+func TestAddCarryChain(t *testing.T) {
+	m := NewMachine(nil)
+	m.R[16] = 0xFF
+	m.R[17] = 0x01
+	exec(t, m, "ADD r16, r17")
+	if m.R[16] != 0x00 {
+		t.Fatalf("r16 = %#x, want 0", m.R[16])
+	}
+	if !m.flag(FlagC) || !m.flag(FlagZ) {
+		t.Fatalf("flags: SREG=%08b, want C and Z set", m.SREG)
+	}
+	// ADC picks up the carry.
+	m.R[18] = 0x10
+	m.R[19] = 0x20
+	exec(t, m, "ADC r18, r19")
+	if m.R[18] != 0x31 {
+		t.Fatalf("ADC result %#x, want 0x31", m.R[18])
+	}
+}
+
+func TestSubAndCompareFlags(t *testing.T) {
+	m := NewMachine(nil)
+	m.R[1] = 5
+	m.R[2] = 10
+	exec(t, m, "SUB r1, r2")
+	if m.R[1] != 0xFB {
+		t.Fatalf("r1 = %#x", m.R[1])
+	}
+	if !m.flag(FlagC) || !m.flag(FlagN) {
+		t.Fatalf("SUB borrow flags wrong: SREG=%08b", m.SREG)
+	}
+	// CP does not modify the register.
+	m.R[3] = 7
+	m.R[4] = 7
+	exec(t, m, "CP r3, r4")
+	if m.R[3] != 7 {
+		t.Fatal("CP must not write the register")
+	}
+	if !m.flag(FlagZ) {
+		t.Fatal("CP equal should set Z")
+	}
+}
+
+func TestSBCZeroPropagation(t *testing.T) {
+	// 16-bit subtraction via SUB/SBC: Z must only remain set if both bytes
+	// are zero.
+	m := NewMachine(nil)
+	m.R[0], m.R[1] = 0x00, 0x01 // value 0x0100
+	m.R[2], m.R[3] = 0x00, 0x01 // value 0x0100
+	exec(t, m, "SUB r0, r2")
+	exec(t, m, "SBC r1, r3")
+	if !m.flag(FlagZ) {
+		t.Fatal("0x0100-0x0100 must leave Z set")
+	}
+	m.R[0], m.R[1] = 0x01, 0x01
+	m.R[2], m.R[3] = 0x01, 0x00
+	exec(t, m, "SUB r0, r2") // low bytes equal → Z set
+	exec(t, m, "SBC r1, r3") // high result 1 → Z must clear
+	if m.flag(FlagZ) {
+		t.Fatal("nonzero 16-bit result must clear Z")
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	m := NewMachine(nil)
+	m.R[16], m.R[17] = 0b1100, 0b1010
+	exec(t, m, "AND r16, r17")
+	if m.R[16] != 0b1000 {
+		t.Fatalf("AND = %#b", m.R[16])
+	}
+	m.R[16], m.R[17] = 0b1100, 0b1010
+	exec(t, m, "OR r16, r17")
+	if m.R[16] != 0b1110 {
+		t.Fatalf("OR = %#b", m.R[16])
+	}
+	m.R[16], m.R[17] = 0b1100, 0b1010
+	exec(t, m, "EOR r16, r17")
+	if m.R[16] != 0b0110 {
+		t.Fatalf("EOR = %#b", m.R[16])
+	}
+	if m.flag(FlagV) {
+		t.Fatal("logic ops must clear V")
+	}
+	exec(t, m, "CLR r16")
+	if m.R[16] != 0 || !m.flag(FlagZ) {
+		t.Fatal("CLR failed")
+	}
+	m.R[20] = 0x81
+	exec(t, m, "TST r20")
+	if m.R[20] != 0x81 {
+		t.Fatal("TST must not modify register")
+	}
+	if !m.flag(FlagN) || m.flag(FlagZ) {
+		t.Fatalf("TST flags wrong: SREG=%08b", m.SREG)
+	}
+}
+
+func TestImmediateOps(t *testing.T) {
+	m := NewMachine(nil)
+	exec(t, m, "LDI r16, 0x5A")
+	if m.R[16] != 0x5A {
+		t.Fatal("LDI failed")
+	}
+	exec(t, m, "SUBI r16, 0x0A")
+	if m.R[16] != 0x50 {
+		t.Fatalf("SUBI = %#x", m.R[16])
+	}
+	exec(t, m, "ANDI r16, 0xF0")
+	if m.R[16] != 0x50 {
+		t.Fatalf("ANDI = %#x", m.R[16])
+	}
+	exec(t, m, "ORI r16, 0x05")
+	if m.R[16] != 0x55 {
+		t.Fatalf("ORI = %#x", m.R[16])
+	}
+	exec(t, m, "CBR r16, 0x0F")
+	if m.R[16] != 0x50 {
+		t.Fatalf("CBR = %#x", m.R[16])
+	}
+	exec(t, m, "CPI r16, 0x50")
+	if !m.flag(FlagZ) || m.R[16] != 0x50 {
+		t.Fatal("CPI failed")
+	}
+	exec(t, m, "SER r17")
+	if m.R[17] != 0xFF {
+		t.Fatal("SER failed")
+	}
+}
+
+func TestADIWSBIW(t *testing.T) {
+	m := NewMachine(nil)
+	m.R[24], m.R[25] = 0xFF, 0x00 // word 0x00FF
+	exec(t, m, "ADIW r24, 1")
+	if m.R[24] != 0x00 || m.R[25] != 0x01 {
+		t.Fatalf("ADIW: r25:r24 = %02x%02x, want 0100", m.R[25], m.R[24])
+	}
+	exec(t, m, "SBIW r24, 0x20")
+	if m.R[24] != 0xE0 || m.R[25] != 0x00 {
+		t.Fatalf("SBIW: r25:r24 = %02x%02x, want 00E0", m.R[25], m.R[24])
+	}
+	// Carry on 16-bit overflow.
+	m.R[26], m.R[27] = 0xFF, 0xFF
+	exec(t, m, "ADIW r26, 1")
+	if !m.flag(FlagC) || m.R[26] != 0 || m.R[27] != 0 {
+		t.Fatalf("ADIW overflow: C=%v r27:r26=%02x%02x", m.flag(FlagC), m.R[27], m.R[26])
+	}
+}
+
+func TestShiftsAndRotates(t *testing.T) {
+	m := NewMachine(nil)
+	m.R[5] = 0x81
+	exec(t, m, "LSR r5")
+	if m.R[5] != 0x40 || !m.flag(FlagC) {
+		t.Fatalf("LSR: r5=%#x C=%v", m.R[5], m.flag(FlagC))
+	}
+	exec(t, m, "ROR r5") // carry rotates into bit 7
+	if m.R[5] != 0xA0 {
+		t.Fatalf("ROR: r5=%#x, want 0xA0", m.R[5])
+	}
+	m.R[6] = 0x80
+	exec(t, m, "ASR r6")
+	if m.R[6] != 0xC0 {
+		t.Fatalf("ASR: r6=%#x, want 0xC0 (sign extend)", m.R[6])
+	}
+	m.R[7] = 0x01
+	exec(t, m, "LSL r7")
+	if m.R[7] != 0x02 {
+		t.Fatalf("LSL: r7=%#x", m.R[7])
+	}
+	m.SREG = 0
+	m.R[8] = 0x80
+	exec(t, m, "ROL r8") // 0x80<<1 = 0x00 with carry out
+	if m.R[8] != 0x00 || !m.flag(FlagC) {
+		t.Fatalf("ROL: r8=%#x C=%v", m.R[8], m.flag(FlagC))
+	}
+	m.R[9] = 0xAB
+	exec(t, m, "SWAP r9")
+	if m.R[9] != 0xBA {
+		t.Fatalf("SWAP: r9=%#x", m.R[9])
+	}
+}
+
+func TestIncDecComNeg(t *testing.T) {
+	m := NewMachine(nil)
+	m.R[1] = 0x7F
+	exec(t, m, "INC r1")
+	if m.R[1] != 0x80 || !m.flag(FlagV) {
+		t.Fatalf("INC overflow: r1=%#x V=%v", m.R[1], m.flag(FlagV))
+	}
+	m.R[2] = 0x80
+	exec(t, m, "DEC r2")
+	if m.R[2] != 0x7F || !m.flag(FlagV) {
+		t.Fatalf("DEC overflow: r2=%#x V=%v", m.R[2], m.flag(FlagV))
+	}
+	m.R[3] = 0x0F
+	exec(t, m, "COM r3")
+	if m.R[3] != 0xF0 || !m.flag(FlagC) {
+		t.Fatalf("COM: r3=%#x C=%v", m.R[3], m.flag(FlagC))
+	}
+	m.R[4] = 0x01
+	exec(t, m, "NEG r4")
+	if m.R[4] != 0xFF || !m.flag(FlagC) || !m.flag(FlagN) {
+		t.Fatalf("NEG: r4=%#x SREG=%08b", m.R[4], m.SREG)
+	}
+}
+
+func TestMovAndMovw(t *testing.T) {
+	m := NewMachine(nil)
+	m.R[10] = 0x42
+	exec(t, m, "MOV r11, r10")
+	if m.R[11] != 0x42 {
+		t.Fatal("MOV failed")
+	}
+	m.R[4], m.R[5] = 0xCD, 0xAB
+	exec(t, m, "MOVW r2, r4")
+	if m.R[2] != 0xCD || m.R[3] != 0xAB {
+		t.Fatalf("MOVW: r3:r2 = %02x%02x", m.R[3], m.R[2])
+	}
+}
+
+func TestLoadStoreModes(t *testing.T) {
+	m := NewMachine(nil)
+	m.SRAM[0x100] = 0x99
+	exec(t, m, "LDS r4, 0x0100")
+	if m.R[4] != 0x99 {
+		t.Fatal("LDS failed")
+	}
+	m.R[9] = 0x77
+	exec(t, m, "STS 0x0180, r9")
+	if m.SRAM[0x180] != 0x77 {
+		t.Fatal("STS failed")
+	}
+	// X post-increment.
+	m.setPtr(RegXL, 0x0200)
+	m.SRAM[0x200] = 0x11
+	m.SRAM[0x201] = 0x22
+	exec(t, m, "LD r5, X+")
+	exec(t, m, "LD r6, X+")
+	if m.R[5] != 0x11 || m.R[6] != 0x22 {
+		t.Fatalf("LD X+: r5=%#x r6=%#x", m.R[5], m.R[6])
+	}
+	if m.ptr(RegXL) != 0x0202 {
+		t.Fatalf("X = %#x, want 0x0202", m.ptr(RegXL))
+	}
+	// Y pre-decrement.
+	m.setPtr(RegYL, 0x0202)
+	m.R[7] = 0x33
+	exec(t, m, "ST -Y, r7")
+	if m.SRAM[0x201] != 0x33 || m.ptr(RegYL) != 0x0201 {
+		t.Fatalf("ST -Y: mem=%#x Y=%#x", m.SRAM[0x201], m.ptr(RegYL))
+	}
+	// Z displacement.
+	m.setPtr(RegZL, 0x0300)
+	m.SRAM[0x30A] = 0x5C
+	exec(t, m, "LDD r8, Z+10")
+	if m.R[8] != 0x5C {
+		t.Fatal("LDD Z+q failed")
+	}
+	if m.ptr(RegZL) != 0x0300 {
+		t.Fatal("LDD must not move Z")
+	}
+	m.R[10] = 0xEE
+	exec(t, m, "STD Y+2, r10")
+	if m.SRAM[0x203] != 0xEE {
+		t.Fatal("STD Y+q failed")
+	}
+}
+
+func TestLPM(t *testing.T) {
+	m := NewMachine([]uint16{0x3412, 0x7856})
+	m.setPtr(RegZL, 0)
+	exec(t, m, "LPM") // implied R0 ← low byte of word 0
+	if m.R[0] != 0x12 {
+		t.Fatalf("LPM implied: r0=%#x", m.R[0])
+	}
+	m.setPtr(RegZL, 1)
+	exec(t, m, "LPM r5, Z+")
+	if m.R[5] != 0x34 {
+		t.Fatalf("LPM r5, Z+: %#x, want high byte 0x34", m.R[5])
+	}
+	if m.ptr(RegZL) != 2 {
+		t.Fatal("LPM Z+ must increment Z")
+	}
+	exec(t, m, "ELPM r6, Z")
+	if m.R[6] != 0x56 {
+		t.Fatalf("ELPM: %#x", m.R[6])
+	}
+}
+
+func TestFlagOpsAndBitOps(t *testing.T) {
+	m := NewMachine(nil)
+	exec(t, m, "SEC")
+	if !m.flag(FlagC) {
+		t.Fatal("SEC failed")
+	}
+	exec(t, m, "CLC")
+	if m.flag(FlagC) {
+		t.Fatal("CLC failed")
+	}
+	exec(t, m, "SEH")
+	if !m.flag(FlagH) {
+		t.Fatal("SEH failed")
+	}
+	exec(t, m, "BSET 3")
+	if !m.flag(FlagV) {
+		t.Fatal("BSET 3 should set V")
+	}
+	exec(t, m, "BCLR 3")
+	if m.flag(FlagV) {
+		t.Fatal("BCLR 3 should clear V")
+	}
+	// BST/BLD copy through T.
+	m.R[4] = 0b0000_0100
+	exec(t, m, "BST r4, 2")
+	if !m.flag(FlagT) {
+		t.Fatal("BST should load T")
+	}
+	exec(t, m, "BLD r5, 7")
+	if m.R[5] != 0x80 {
+		t.Fatalf("BLD: r5=%#x", m.R[5])
+	}
+	// SBI/CBI on I/O space.
+	exec(t, m, "SBI 0x05, 5")
+	if m.IO[5] != 1<<5 {
+		t.Fatal("SBI failed")
+	}
+	exec(t, m, "CBI 0x05, 5")
+	if m.IO[5] != 0 {
+		t.Fatal("CBI failed")
+	}
+}
+
+func TestBranchesAndSkips(t *testing.T) {
+	m := NewMachine(nil)
+	m.setFlag(FlagZ, true)
+	if act := exec(t, m, "BREQ +4"); !act.Taken {
+		t.Fatal("BREQ with Z set must be taken")
+	}
+	if act := exec(t, m, "BRNE +4"); act.Taken {
+		t.Fatal("BRNE with Z set must not be taken")
+	}
+	m.setFlag(FlagC, true)
+	if act := exec(t, m, "BRCS -2"); !act.Taken {
+		t.Fatal("BRCS with C set must be taken")
+	}
+	if act := exec(t, m, "BRBS 0, +1"); !act.Taken {
+		t.Fatal("BRBS 0 with C set must be taken")
+	}
+	if act := exec(t, m, "BRBC 0, +1"); act.Taken {
+		t.Fatal("BRBC 0 with C set must not be taken")
+	}
+	// Skips.
+	m.R[1], m.R[2] = 7, 7
+	if act := exec(t, m, "CPSE r1, r2"); !act.Taken || act.Skip != 1 {
+		t.Fatal("CPSE equal must skip")
+	}
+	m.R[3] = 0b100
+	if act := exec(t, m, "SBRC r3, 2"); act.Taken {
+		t.Fatal("SBRC with bit set must not skip")
+	}
+	if act := exec(t, m, "SBRS r3, 2"); !act.Taken {
+		t.Fatal("SBRS with bit set must skip")
+	}
+	m.IO[5] = 0
+	if act := exec(t, m, "SBIC 0x05, 1"); !act.Taken {
+		t.Fatal("SBIC with bit clear must skip")
+	}
+	if act := exec(t, m, "SBIS 0x05, 1"); act.Taken {
+		t.Fatal("SBIS with bit clear must not skip")
+	}
+}
+
+func TestStepSequencesProgram(t *testing.T) {
+	prog, err := AssembleProgram(`
+		LDI r16, 3
+		LDI r17, 0
+		; loop: add r17 += r16, dec r16, until zero
+		ADD r17, r16
+		DEC r16
+		BRNE -3
+		NOP
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var words []uint16
+	for _, in := range prog {
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		words = append(words, w...)
+	}
+	m := NewMachine(words)
+	for i := 0; i < 30; i++ {
+		if _, _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if m.PC == uint32(len(words)-1) && m.R[16] == 0 {
+			break
+		}
+	}
+	// 3+2+1 = 6.
+	if m.R[17] != 6 {
+		t.Fatalf("loop sum r17 = %d, want 6", m.R[17])
+	}
+}
+
+func TestStepSkipsTwoWordInstruction(t *testing.T) {
+	prog := []Instruction{
+		{Class: OpLDI, Rd: 16, K: 1},
+		{Class: OpLDI, Rd: 17, K: 1},
+		{Class: OpCPSE, Rd: 16, Rr: 17}, // equal → skip the LDS (2 words)
+		{Class: OpLDS, Rd: 18, Addr: 0x0100},
+		{Class: OpLDI, Rd: 19, K: 0xAA},
+		{Class: OpNOP},
+	}
+	var words []uint16
+	for _, in := range prog {
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		words = append(words, w...)
+	}
+	m := NewMachine(words)
+	m.SRAM[0x100] = 0xFF
+	for i := 0; i < 4; i++ {
+		if _, _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.R[18] == 0xFF {
+		t.Fatal("CPSE failed to skip the 2-word LDS")
+	}
+	if m.R[19] != 0xAA {
+		t.Fatalf("instruction after skip not executed: r19=%#x", m.R[19])
+	}
+}
+
+func TestExecRejectsInvalid(t *testing.T) {
+	m := NewMachine(nil)
+	if _, err := m.Exec(Instruction{Class: OpLDI, Rd: 3}); err == nil {
+		t.Fatal("Exec must validate operands")
+	}
+	if _, _, err := m.Step(); err == nil {
+		t.Fatal("Step with empty flash must fail")
+	}
+}
+
+func TestHammingHelpers(t *testing.T) {
+	if HammingWeight8(0xFF) != 8 || HammingWeight8(0) != 0 || HammingWeight8(0b1010) != 2 {
+		t.Fatal("HammingWeight8 wrong")
+	}
+	if HammingDistance8(0xFF, 0x0F) != 4 || HammingDistance8(3, 3) != 0 {
+		t.Fatal("HammingDistance8 wrong")
+	}
+}
+
+func TestExecAllClassesNoError(t *testing.T) {
+	// Property: every randomly generated valid instruction executes without
+	// error and produces a sane activity record.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMachine([]uint16{0x1234, 0x5678})
+		for _, c := range AllClasses() {
+			in := RandomOperands(rng, c)
+			act, err := m.Exec(in)
+			if err != nil {
+				return false
+			}
+			if act.Class != c || act.Cycles < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomOperandsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, c := range append(AllClasses(), OpNOP) {
+			if err := RandomOperands(rng, c).Validate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentTemplateShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	target := Instruction{Class: OpADD, Rd: 1, Rr: 2}
+	seg := NewSegment(rng, target)
+	insts := seg.Instructions()
+	if len(insts) != 7 {
+		t.Fatalf("segment has %d instructions, want 7", len(insts))
+	}
+	if insts[0].Class != OpSBI || insts[6].Class != OpCBI {
+		t.Fatal("segment must be bracketed by SBI/CBI triggers")
+	}
+	if insts[1].Class != OpNOP || insts[5].Class != OpNOP {
+		t.Fatal("segment needs NOP padding")
+	}
+	if insts[3] != target {
+		t.Fatal("target must sit at slot 3")
+	}
+	// Neighbors must never be control flow.
+	for _, n := range []Instruction{insts[2], insts[4]} {
+		if n.Class.Group() == Group4 {
+			t.Fatalf("neighbor %v is a branch", n)
+		}
+	}
+}
+
+func TestReferenceSequence(t *testing.T) {
+	ref := ReferenceSequence()
+	if len(ref) != 7 {
+		t.Fatalf("reference length %d, want 7 (SBI + 5 NOP + CBI)", len(ref))
+	}
+	for i := 1; i <= 5; i++ {
+		if ref[i].Class != OpNOP {
+			t.Fatalf("reference slot %d is %v, want NOP", i, ref[i].Class)
+		}
+	}
+}
+
+func TestProgramFiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pf := NewProgramFile(rng, 3, OpADC, 50)
+	if pf.ID != 3 || len(pf.Segments) != 50 {
+		t.Fatalf("program file %d with %d segments", pf.ID, len(pf.Segments))
+	}
+	for _, s := range pf.Segments {
+		if s.Target.Class != OpADC {
+			t.Fatalf("segment target %v, want ADC", s.Target.Class)
+		}
+	}
+	rf := NewRegisterProgramFile(rng, 0, 13, true, 40)
+	for _, s := range rf.Segments {
+		if s.Target.Rd != 13 {
+			t.Fatalf("register file target Rd=%d, want 13", s.Target.Rd)
+		}
+		if s.Target.Class.Group() != Group1 {
+			t.Fatalf("register profiling must use group 1, got %v", s.Target.Class)
+		}
+	}
+	rf2 := NewRegisterProgramFile(rng, 0, 29, false, 40)
+	for _, s := range rf2.Segments {
+		if s.Target.Rr != 29 {
+			t.Fatalf("register file target Rr=%d, want 29", s.Target.Rr)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package core assembles the substrates into the paper's contribution: a
+// power side-channel disassembler. A trained Disassembler maps a single
+// power trace to an instruction — hierarchically, as in Section 2.1:
+//
+//	level 1: which of the 8 instruction groups,
+//	level 2: which instruction inside that group,
+//	level 3: which operand registers (Rd, Rr) where the class uses them.
+//
+// Each level has its own KL/PCA feature pipeline and classifier. The Trainer
+// runs the simulated acquisition campaign, fits the pipelines (optionally
+// with covariate shift adaptation) and trains the classifiers.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/avr"
+	"repro/internal/features"
+	"repro/internal/ml"
+)
+
+// ClassifierKind selects the classification algorithm at every level.
+type ClassifierKind string
+
+// The classifier families the paper evaluates.
+const (
+	ClassifierLDA ClassifierKind = "lda"
+	ClassifierQDA ClassifierKind = "qda"
+	ClassifierSVM ClassifierKind = "svm"
+	ClassifierNB  ClassifierKind = "naive-bayes"
+	ClassifierKNN ClassifierKind = "knn"
+)
+
+// NewClassifier constructs an untrained classifier of the given kind.
+// SVM hyperparameters follow the harness defaults (C=10, RBF γ=0.1); use the
+// ml package directly for grid search.
+func NewClassifier(kind ClassifierKind) (ml.Classifier, error) {
+	switch kind {
+	case ClassifierLDA:
+		return ml.NewLDA(), nil
+	case ClassifierQDA:
+		return ml.NewQDA(), nil
+	case ClassifierSVM:
+		return ml.NewSVM(10, ml.RBFKernel{Gamma: 0.1}), nil
+	case ClassifierNB:
+		return ml.NewGaussianNB(), nil
+	case ClassifierKNN:
+		return ml.NewKNN(1), nil
+	default:
+		return nil, fmt.Errorf("core: unknown classifier kind %q", kind)
+	}
+}
+
+// Decoded is one reverse-engineered instruction: the class plus recovered
+// register operands where the class has them. Operand fields that the power
+// channel cannot determine (immediates, branch targets, addresses) are left
+// unknown.
+type Decoded struct {
+	Class avr.Class
+	Group avr.Group
+	Rd    uint8
+	Rr    uint8
+	HasRd bool
+	HasRr bool
+}
+
+// String renders the decoded instruction in assembler-like syntax with '?'
+// for operands the side channel cannot recover.
+func (d Decoded) String() string {
+	sp := avr.SpecOf(d.Class)
+	var b strings.Builder
+	b.WriteString(sp.Name)
+	operand := func(has bool, r uint8) string {
+		if has {
+			return fmt.Sprintf("r%d", r)
+		}
+		return "r?"
+	}
+	switch sp.Operands {
+	case avr.OperandRdRr:
+		fmt.Fprintf(&b, " %s, %s", operand(d.HasRd, d.Rd), operand(d.HasRr, d.Rr))
+	case avr.OperandRdK, avr.OperandRdPairK:
+		fmt.Fprintf(&b, " %s, K?", operand(d.HasRd, d.Rd))
+	case avr.OperandRd:
+		fmt.Fprintf(&b, " %s", operand(d.HasRd, d.Rd))
+	case avr.OperandOff, avr.OperandAddr:
+		b.WriteString(" k?")
+	case avr.OperandRdAddr:
+		fmt.Fprintf(&b, " %s, k?", operand(d.HasRd, d.Rd))
+	case avr.OperandAddrRr:
+		fmt.Fprintf(&b, " k?, %s", operand(d.HasRr, d.Rr))
+	case avr.OperandRdPtr, avr.OperandRdZ, avr.OperandRdQ:
+		fmt.Fprintf(&b, " %s, %s", operand(d.HasRd, d.Rd), ptrText(d.Class))
+	case avr.OperandPtrRr, avr.OperandQRr:
+		fmt.Fprintf(&b, " %s, %s", ptrText(d.Class), operand(d.HasRr, d.Rr))
+	case avr.OperandRrB:
+		fmt.Fprintf(&b, " %s, b?", operand(d.HasRd || d.HasRr, pickReg(d)))
+	case avr.OperandAB:
+		b.WriteString(" A?, b?")
+	case avr.OperandSOff:
+		b.WriteString(" s?, k?")
+	case avr.OperandS:
+		b.WriteString(" s?")
+	}
+	return b.String()
+}
+
+func pickReg(d Decoded) uint8 {
+	if d.HasRd {
+		return d.Rd
+	}
+	return d.Rr
+}
+
+func ptrText(c avr.Class) string {
+	switch avr.SpecOf(c).Operands {
+	case avr.OperandRdQ, avr.OperandQRr:
+		return avr.PointerToken(c) + "+q?"
+	default:
+		return avr.PointerToken(c)
+	}
+}
+
+// groupLevel bundles the fitted pipeline + classifier of one level.
+type groupLevel struct {
+	pipe *features.Pipeline
+	clf  ml.Classifier
+}
+
+// Disassembler is a fully trained hierarchical template set.
+type Disassembler struct {
+	group      groupLevel
+	instr      [avr.NumGroups]groupLevel
+	instrClass [avr.NumGroups][]avr.Class // label → class per group
+	rd         groupLevel
+	rr         groupLevel
+	haveRegs   bool
+}
+
+// ErrNotTrained is returned when a Disassembler lacks a required level.
+var ErrNotTrained = errors.New("core: disassembler not trained")
+
+// Classify decodes a single power trace into an instruction.
+func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
+	if d.group.pipe == nil || d.group.clf == nil {
+		return Decoded{}, ErrNotTrained
+	}
+	gf, err := d.group.pipe.Extract(trace)
+	if err != nil {
+		return Decoded{}, fmt.Errorf("core: group features: %w", err)
+	}
+	gi, err := d.group.clf.Predict(gf)
+	if err != nil {
+		return Decoded{}, fmt.Errorf("core: group classify: %w", err)
+	}
+	if gi < 0 || gi >= avr.NumGroups {
+		return Decoded{}, fmt.Errorf("core: group label %d out of range", gi)
+	}
+	lvl := d.instr[gi]
+	if lvl.pipe == nil || lvl.clf == nil {
+		return Decoded{}, fmt.Errorf("core: no instruction templates for group %d: %w", gi+1, ErrNotTrained)
+	}
+	inf, err := lvl.pipe.Extract(trace)
+	if err != nil {
+		return Decoded{}, fmt.Errorf("core: instruction features: %w", err)
+	}
+	ii, err := lvl.clf.Predict(inf)
+	if err != nil {
+		return Decoded{}, fmt.Errorf("core: instruction classify: %w", err)
+	}
+	if ii < 0 || ii >= len(d.instrClass[gi]) {
+		return Decoded{}, fmt.Errorf("core: instruction label %d out of range for group %d", ii, gi+1)
+	}
+	cls := d.instrClass[gi][ii]
+	out := Decoded{Class: cls, Group: cls.Group()}
+
+	if d.haveRegs {
+		sp := avr.SpecOf(cls)
+		needRd, needRr := operandRegisters(sp.Operands, cls)
+		if needRd {
+			f, err := d.rd.pipe.Extract(trace)
+			if err != nil {
+				return Decoded{}, fmt.Errorf("core: Rd features: %w", err)
+			}
+			r, err := d.rd.clf.Predict(f)
+			if err != nil {
+				return Decoded{}, fmt.Errorf("core: Rd classify: %w", err)
+			}
+			out.Rd, out.HasRd = uint8(r), true
+		}
+		if needRr {
+			f, err := d.rr.pipe.Extract(trace)
+			if err != nil {
+				return Decoded{}, fmt.Errorf("core: Rr features: %w", err)
+			}
+			r, err := d.rr.clf.Predict(f)
+			if err != nil {
+				return Decoded{}, fmt.Errorf("core: Rr classify: %w", err)
+			}
+			out.Rr, out.HasRr = uint8(r), true
+		}
+	}
+	return out, nil
+}
+
+// operandRegisters reports which register operands a class carries.
+func operandRegisters(k avr.OperandKind, c avr.Class) (rd, rr bool) {
+	switch k {
+	case avr.OperandRdRr:
+		return true, true
+	case avr.OperandRdK, avr.OperandRdPairK, avr.OperandRd, avr.OperandRdAddr,
+		avr.OperandRdPtr, avr.OperandRdQ, avr.OperandRdZ:
+		return true, false
+	case avr.OperandAddrRr, avr.OperandPtrRr, avr.OperandQRr:
+		return false, true
+	case avr.OperandRrB:
+		if c == avr.OpBST || c == avr.OpBLD {
+			return true, false
+		}
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// Disassemble decodes a stream of traces (one per executed instruction)
+// into a listing.
+func (d *Disassembler) Disassemble(traces [][]float64) ([]Decoded, error) {
+	out := make([]Decoded, 0, len(traces))
+	for i, tr := range traces {
+		dec, err := d.Classify(tr)
+		if err != nil {
+			return out, fmt.Errorf("core: trace %d: %w", i, err)
+		}
+		out = append(out, dec)
+	}
+	return out, nil
+}
+
+// Listing renders decoded instructions as assembler text.
+func Listing(decs []Decoded) string {
+	var b strings.Builder
+	for _, d := range decs {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// registerContext reports the Instruction field a Decoded comparison should
+// look at; used by malware flow checks.
+func registerContext(c avr.Class, in avr.Instruction) (rd uint8, rr uint8, hasRd, hasRr bool) {
+	hasRd, hasRr = operandRegisters(avr.SpecOf(c).Operands, c)
+	return in.Rd, in.Rr, hasRd, hasRr
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/avr"
+	"repro/internal/features"
+	"repro/internal/ml"
+)
+
+// Template profiling is by far the most expensive step of the flow (the
+// paper uploads 10–19 program files per class and captures thousands of
+// traces). This file persists a trained Disassembler with encoding/gob so
+// templates built once can be shipped with a monitoring appliance and
+// reloaded instantly.
+
+// templateFormatVersion guards against loading incompatible files.
+const templateFormatVersion = 1
+
+// levelState is one (pipeline, classifier) pair in serialized form.
+// Present distinguishes trained levels (gob cannot carry nil array
+// elements, so levels are stored by value).
+type levelState struct {
+	Present bool
+	Pipe    *features.PipelineState
+	Clf     *ml.ClassifierState
+}
+
+// disassemblerState is the full serialized template set.
+type disassemblerState struct {
+	Version    int
+	Group      levelState
+	Instr      [avr.NumGroups]levelState
+	InstrClass [avr.NumGroups][]avr.Class
+	Rd, Rr     levelState
+	HaveRegs   bool
+}
+
+func snapshotLevel(lvl groupLevel) (levelState, error) {
+	if lvl.pipe == nil || lvl.clf == nil {
+		return levelState{}, nil // untrained level
+	}
+	ps, err := lvl.pipe.State()
+	if err != nil {
+		return levelState{}, err
+	}
+	cs, err := ml.SnapshotClassifier(lvl.clf)
+	if err != nil {
+		return levelState{}, err
+	}
+	return levelState{Present: true, Pipe: ps, Clf: cs}, nil
+}
+
+func restoreLevel(st levelState) (groupLevel, error) {
+	if !st.Present {
+		return groupLevel{}, nil
+	}
+	pipe, err := features.PipelineFromState(st.Pipe)
+	if err != nil {
+		return groupLevel{}, err
+	}
+	clf, err := ml.RestoreClassifier(st.Clf)
+	if err != nil {
+		return groupLevel{}, err
+	}
+	return groupLevel{pipe: pipe, clf: clf}, nil
+}
+
+// Save writes the trained template set to w.
+func (d *Disassembler) Save(w io.Writer) error {
+	if d.group.pipe == nil {
+		return errors.New("core: cannot save an untrained disassembler")
+	}
+	st := disassemblerState{Version: templateFormatVersion, HaveRegs: d.haveRegs}
+	var err error
+	if st.Group, err = snapshotLevel(d.group); err != nil {
+		return fmt.Errorf("core: saving group level: %w", err)
+	}
+	for i := range d.instr {
+		if st.Instr[i], err = snapshotLevel(d.instr[i]); err != nil {
+			return fmt.Errorf("core: saving group %d level: %w", i+1, err)
+		}
+		st.InstrClass[i] = d.instrClass[i]
+	}
+	if d.haveRegs {
+		if st.Rd, err = snapshotLevel(d.rd); err != nil {
+			return fmt.Errorf("core: saving Rd level: %w", err)
+		}
+		if st.Rr, err = snapshotLevel(d.rr); err != nil {
+			return fmt.Errorf("core: saving Rr level: %w", err)
+		}
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Load reads a template set previously written with Save.
+func Load(r io.Reader) (*Disassembler, error) {
+	var st disassemblerState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding templates: %w", err)
+	}
+	if st.Version != templateFormatVersion {
+		return nil, fmt.Errorf("core: template format version %d, want %d", st.Version, templateFormatVersion)
+	}
+	d := &Disassembler{haveRegs: st.HaveRegs}
+	var err error
+	if d.group, err = restoreLevel(st.Group); err != nil {
+		return nil, fmt.Errorf("core: restoring group level: %w", err)
+	}
+	if d.group.pipe == nil {
+		return nil, errors.New("core: template file lacks a group level")
+	}
+	for i := range d.instr {
+		if d.instr[i], err = restoreLevel(st.Instr[i]); err != nil {
+			return nil, fmt.Errorf("core: restoring group %d level: %w", i+1, err)
+		}
+		d.instrClass[i] = st.InstrClass[i]
+	}
+	if st.HaveRegs {
+		if d.rd, err = restoreLevel(st.Rd); err != nil {
+			return nil, fmt.Errorf("core: restoring Rd level: %w", err)
+		}
+		if d.rr, err = restoreLevel(st.Rr); err != nil {
+			return nil, fmt.Errorf("core: restoring Rr level: %w", err)
+		}
+	}
+	return d, nil
+}

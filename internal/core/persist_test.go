@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/avr"
+	"repro/internal/power"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	classes := []avr.Class{avr.OpADC, avr.OpAND}
+	d, err := TrainSubset(cfg, classes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty template file")
+	}
+	d2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saved and restored disassemblers must classify identically.
+	camp, err := power.NewCampaign(cfg.Power, 0, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	prog := power.NewProgramEnv(cfg.Power, 55, 2)
+	targets := make([]avr.Instruction, 30)
+	for i := range targets {
+		targets[i] = avr.RandomOperands(rng, classes[i%2])
+	}
+	traces, err := camp.AcquireTemplated(rng, prog, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d2.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decode %d differs after reload: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSaveUntrainedFails(t *testing.T) {
+	var d Disassembler
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err == nil {
+		t.Fatal("saving an untrained disassembler should fail")
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a template file"))); err == nil {
+		t.Fatal("loading garbage should fail")
+	}
+}

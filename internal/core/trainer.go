@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/avr"
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/power"
+)
+
+// TrainerConfig scales and shapes the template-building campaign.
+type TrainerConfig struct {
+	Power power.Config
+
+	// Programs and TracesPerProgram size the per-class instruction datasets
+	// (the paper: 10 programs × 300 traces; 19 programs under CSA).
+	Programs         int
+	TracesPerProgram int
+
+	// RegisterPrograms / RegisterTracesPerProgram size the Rd/Rr datasets.
+	// Zero disables register recovery (opcode-only disassembly).
+	RegisterPrograms         int
+	RegisterTracesPerProgram int
+
+	Pipeline   features.PipelineConfig
+	Classifier ClassifierKind
+	Seed       uint64
+}
+
+// DefaultTrainerConfig returns a laptop-scale configuration: the paper's
+// preprocessing with reduced trace counts (use cmd/experiments -traces to
+// approach paper scale).
+func DefaultTrainerConfig() TrainerConfig {
+	return TrainerConfig{
+		Power:                    power.DefaultConfig(),
+		Programs:                 4,
+		TracesPerProgram:         12,
+		RegisterPrograms:         4,
+		RegisterTracesPerProgram: 12,
+		Pipeline:                 features.CSAPipelineConfig(),
+		Classifier:               ClassifierQDA,
+		Seed:                     1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c TrainerConfig) Validate() error {
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if c.Programs < 2 {
+		return fmt.Errorf("core: need >= 2 programs for not-varying masks, got %d", c.Programs)
+	}
+	if c.TracesPerProgram < 2 {
+		return fmt.Errorf("core: need >= 2 traces per program, got %d", c.TracesPerProgram)
+	}
+	if c.RegisterPrograms > 0 && c.RegisterPrograms < 2 {
+		return fmt.Errorf("core: register campaign needs >= 2 programs, got %d", c.RegisterPrograms)
+	}
+	return nil
+}
+
+// TrainReport summarizes what training produced.
+type TrainReport struct {
+	GroupTrainAccuracy float64
+	InstrTrainAccuracy [avr.NumGroups]float64
+	RdTrainAccuracy    float64
+	RrTrainAccuracy    float64
+	GroupPoints        int
+	InstrPoints        [avr.NumGroups]int
+}
+
+// Train runs the full acquisition + template-building flow of Fig. 1 on the
+// golden device and returns a ready Disassembler.
+func Train(cfg TrainerConfig) (*Disassembler, *TrainReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	camp, err := power.NewCampaign(cfg.Power, 0, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &Disassembler{}
+	rep := &TrainReport{}
+
+	// Level 1: the 8-group classifier.
+	groupDS, err := camp.CollectGroups(cfg.Programs, cfg.TracesPerProgram)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: group acquisition: %w", err)
+	}
+	d.group, rep.GroupTrainAccuracy, err = fitLevel(groupDS, avr.NumGroups, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: group level: %w", err)
+	}
+	rep.GroupPoints = d.group.pipe.NumPoints()
+
+	// Level 2: per-group instruction classifiers.
+	for g := avr.Group1; g <= avr.Group8; g++ {
+		classes := avr.ClassesInGroup(g)
+		ds, err := camp.CollectClasses(classes, cfg.Programs, cfg.TracesPerProgram)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: group %d acquisition: %w", g, err)
+		}
+		gi := int(g - avr.Group1)
+		d.instr[gi], rep.InstrTrainAccuracy[gi], err = fitLevel(ds, len(classes), cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: group %d level: %w", g, err)
+		}
+		d.instrClass[gi] = classes
+		rep.InstrPoints[gi] = d.instr[gi].pipe.NumPoints()
+	}
+
+	// Level 3: register classifiers.
+	if cfg.RegisterPrograms > 0 && cfg.RegisterTracesPerProgram > 0 {
+		rdDS, err := camp.CollectRegisters(true, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: Rd acquisition: %w", err)
+		}
+		d.rd, rep.RdTrainAccuracy, err = fitLevel(rdDS, 32, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: Rd level: %w", err)
+		}
+		rrDS, err := camp.CollectRegisters(false, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: Rr acquisition: %w", err)
+		}
+		d.rr, rep.RrTrainAccuracy, err = fitLevel(rrDS, 32, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: Rr level: %w", err)
+		}
+		d.haveRegs = true
+	}
+	return d, rep, nil
+}
+
+// fitLevel fits one pipeline + classifier pair on a dataset and reports the
+// training-set accuracy. The PCA dimensionality is clamped below the
+// smallest per-class sample count so the QDA/LDA covariance estimates stay
+// well conditioned even at reduced trace counts.
+func fitLevel(ds *power.Dataset, nClasses int, cfg TrainerConfig) (groupLevel, float64, error) {
+	counts := make([]int, nClasses)
+	for _, l := range ds.Labels {
+		if l >= 0 && l < nClasses {
+			counts[l]++
+		}
+	}
+	minCount := len(ds.Labels)
+	for _, c := range counts {
+		if c < minCount {
+			minCount = c
+		}
+	}
+	pcfg := cfg.Pipeline
+	if maxDim := minCount/2 + 1; pcfg.NumComponents > maxDim {
+		pcfg.NumComponents = maxDim
+	}
+	pipe, err := features.FitPipeline(ds.Traces, ds.Labels, ds.Programs, nClasses, pcfg)
+	if err != nil {
+		return groupLevel{}, 0, err
+	}
+	X, err := pipe.ExtractAll(ds.Traces)
+	if err != nil {
+		return groupLevel{}, 0, err
+	}
+	clf, err := NewClassifier(cfg.Classifier)
+	if err != nil {
+		return groupLevel{}, 0, err
+	}
+	if err := clf.Fit(X, ds.Labels); err != nil {
+		return groupLevel{}, 0, err
+	}
+	acc, err := ml.EvaluateAccuracy(clf, X, ds.Labels)
+	if err != nil {
+		return groupLevel{}, 0, err
+	}
+	return groupLevel{pipe: pipe, clf: clf}, acc, nil
+}
+
+// TrainSubset trains a disassembler restricted to the given classes (still
+// hierarchical: groups that appear among the classes get instruction
+// classifiers). Useful for quick demonstrations and the examples.
+func TrainSubset(cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*Disassembler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(classes) < 2 {
+		return nil, fmt.Errorf("core: TrainSubset needs >= 2 classes")
+	}
+	camp, err := power.NewCampaign(cfg.Power, 0, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	d := &Disassembler{}
+
+	// Group level trained on the full 8-way task so group routing works.
+	groupDS, err := camp.CollectGroups(cfg.Programs, cfg.TracesPerProgram)
+	if err != nil {
+		return nil, err
+	}
+	d.group, _, err = fitLevel(groupDS, avr.NumGroups, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Instruction level only for the groups covered by the subset.
+	byGroup := map[avr.Group][]avr.Class{}
+	for _, c := range classes {
+		byGroup[c.Group()] = append(byGroup[c.Group()], c)
+	}
+	for g, cls := range byGroup {
+		gi := int(g - avr.Group1)
+		if len(cls) < 2 {
+			// A lone class in its group still needs a 2-way pipeline; train
+			// against the full group instead.
+			cls = avr.ClassesInGroup(g)
+		}
+		ds, err := camp.CollectClasses(cls, cfg.Programs, cfg.TracesPerProgram)
+		if err != nil {
+			return nil, err
+		}
+		d.instr[gi], _, err = fitLevel(ds, len(cls), cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.instrClass[gi] = cls
+	}
+
+	if withRegisters && cfg.RegisterPrograms > 0 {
+		rdDS, err := camp.CollectRegisters(true, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
+		if err != nil {
+			return nil, err
+		}
+		d.rd, _, err = fitLevel(rdDS, 32, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rrDS, err := camp.CollectRegisters(false, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
+		if err != nil {
+			return nil, err
+		}
+		d.rr, _, err = fitLevel(rrDS, 32, cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.haveRegs = true
+	}
+	return d, nil
+}

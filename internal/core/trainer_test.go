@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/avr"
+	"repro/internal/power"
+)
+
+// smallConfig keeps the end-to-end tests fast.
+func smallConfig() TrainerConfig {
+	cfg := DefaultTrainerConfig()
+	cfg.Programs = 4
+	cfg.TracesPerProgram = 20
+	cfg.RegisterPrograms = 0
+	cfg.RegisterTracesPerProgram = 0
+	return cfg
+}
+
+func TestTrainSubsetEndToEnd(t *testing.T) {
+	cfg := smallConfig()
+	classes := []avr.Class{avr.OpADD, avr.OpAND, avr.OpLDI, avr.OpSEC}
+	d, err := TrainSubset(cfg, classes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classify fresh traces from an unseen program environment; the CSA
+	// pipeline should carry the templates over.
+	camp, err := power.NewCampaign(cfg.Power, 0, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	prog := power.NewProgramEnv(cfg.Power, 999, 7)
+	hit, total := 0, 0
+	for _, cl := range classes {
+		stream := make([]avr.Instruction, 15)
+		for i := range stream {
+			stream[i] = avr.RandomOperands(rng, cl)
+		}
+		traces, err := camp.AcquireSegments(rng, prog, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decs, err := d.Disassemble(traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dec := range decs {
+			total++
+			if dec.Class == cl {
+				hit++
+			}
+			if dec.Group != cl.Group() && dec.Class == cl {
+				t.Fatalf("class %v reported with group %v", dec.Class, dec.Group)
+			}
+		}
+	}
+	if acc := float64(hit) / float64(total); acc < 0.80 {
+		t.Fatalf("subset disassembler accuracy %.3f, want >= 0.80", acc)
+	}
+	// Register fields must be absent without register templates.
+	tr, _ := camp.AcquireSegments(rng, prog, []avr.Instruction{{Class: avr.OpADD, Rd: 1, Rr: 2}})
+	dec, err := d.Classify(tr[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.HasRd || dec.HasRr {
+		t.Fatal("register recovery should be disabled")
+	}
+}
+
+func TestTrainSubsetValidation(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := TrainSubset(cfg, nil, false); err == nil {
+		t.Fatal("empty class list should fail")
+	}
+	bad := cfg
+	bad.Programs = 0
+	if _, err := TrainSubset(bad, []avr.Class{avr.OpADD, avr.OpAND}, false); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+	if _, _, err := Train(bad); err == nil {
+		t.Fatal("invalid config should fail Train too")
+	}
+}
+
+func TestMalwareDetectionEndToEnd(t *testing.T) {
+	// The §5.7 case study at test scale: golden masked-AES snippet vs a
+	// malicious variant with the mask register swapped to r0 (zero).
+	cfg := smallConfig()
+	cfg.RegisterPrograms = 5
+	cfg.RegisterTracesPerProgram = 20
+	classes := []avr.Class{avr.OpEOR, avr.OpMOV}
+	d, err := TrainSubset(cfg, classes, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := avr.AssembleProgram(`
+		MOV r18, r17 ; stash the mask
+		EOR r16, r17 ; mask the AES subkey
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil, err := avr.AssembleProgram(`
+		MOV r18, r17
+		EOR r16, r0 ; malware: mask with the zero register
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := power.NewCampaign(cfg.Power, 0, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	prog := power.NewProgramEnv(cfg.Power, 4242, 3)
+
+	// Majority-vote fusion across repeated runs mirrors real-time monitoring
+	// of a loop: single-trace misreads cancel out.
+	detect := func(stream []avr.Instruction) []FlowMismatch {
+		var runs [][]Decoded
+		for run := 0; run < 9; run++ {
+			traces, err := camp.AcquireSegments(rng, prog, stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decs, err := d.Disassemble(traces)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, decs)
+		}
+		fused, err := MajorityDecode(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return CompareFlow(golden, fused)
+	}
+	cleanMM := detect(golden)
+	evilMM := detect(evil)
+	if len(evilMM) == 0 {
+		t.Fatal("register-swap malware not detected")
+	}
+	// The attack signature — a source-register mismatch on the masking EOR —
+	// must appear for the malicious stream and not for the clean one.
+	hasRrAt1 := func(mm []FlowMismatch) bool {
+		for _, m := range mm {
+			if m.Index == 1 && m.Field == "Rr" {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasRrAt1(evilMM) {
+		t.Fatalf("expected Rr mismatch at instruction 1, got %v", evilMM)
+	}
+	if hasRrAt1(cleanMM) {
+		t.Fatalf("clean stream raised a spurious Rr alarm: %v", cleanMM)
+	}
+}

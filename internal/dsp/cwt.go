@@ -1,0 +1,203 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Morlet wavelet parameters. ω0 = 6 is the standard admissibility-respecting
+// choice; the center frequency of scale s is ω0/(2πs) cycles per sample.
+const (
+	MorletOmega0 = 6.0
+	// kernelHalfWidthSigmas controls truncation of the (infinite-support)
+	// Morlet envelope; at 4σ the discarded tail is < 4e-4 of the peak.
+	kernelHalfWidthSigmas = 4.0
+)
+
+// CWT computes a continuous wavelet transform of a real signal using the
+// analytic Morlet wavelet over a fixed bank of scales. The result is the
+// coefficient magnitude |W(j, k)| for scale index j and time index k — a
+// Scales×len(x) matrix, matching the paper's 50×315 time–frequency plane.
+type CWT struct {
+	scales  []float64
+	kernels [][]complex128 // time-reversed conjugate wavelet per scale
+
+	// FFT plan cache: kernel spectra at a common padded length, keyed by
+	// that length. Every trace of the same length reuses the plan, so a
+	// Transform costs one forward FFT plus one inverse FFT per scale.
+	planLen     int
+	kernelFFTs  [][]complex128
+	maxKernelSz int
+}
+
+// NewCWT builds a transform with nScales scales geometrically spaced between
+// minScale and maxScale (in samples). The paper's configuration is
+// NewCWT(50, 2, 80): center frequencies from ~0.48 down to ~0.012
+// cycles/sample, which brackets the clock harmonics of a 16 MHz target
+// sampled at 2.5 GS/s.
+func NewCWT(nScales int, minScale, maxScale float64) (*CWT, error) {
+	if nScales < 1 {
+		return nil, fmt.Errorf("dsp: NewCWT needs at least 1 scale, got %d", nScales)
+	}
+	if minScale <= 0 || maxScale < minScale {
+		return nil, fmt.Errorf("dsp: invalid scale range [%g, %g]", minScale, maxScale)
+	}
+	c := &CWT{
+		scales:  make([]float64, nScales),
+		kernels: make([][]complex128, nScales),
+	}
+	for j := 0; j < nScales; j++ {
+		var s float64
+		if nScales == 1 {
+			s = minScale
+		} else {
+			// Geometric spacing: fine resolution at small scales.
+			t := float64(j) / float64(nScales-1)
+			s = minScale * math.Pow(maxScale/minScale, t)
+		}
+		c.scales[j] = s
+		c.kernels[j] = morletKernel(s)
+		if len(c.kernels[j]) > c.maxKernelSz {
+			c.maxKernelSz = len(c.kernels[j])
+		}
+	}
+	return c, nil
+}
+
+// plan (re)builds the kernel FFT cache for signals of length n.
+func (c *CWT) plan(n int) {
+	m := NextPow2(n + c.maxKernelSz - 1)
+	if m == c.planLen {
+		return
+	}
+	c.planLen = m
+	c.kernelFFTs = make([][]complex128, len(c.kernels))
+	for j, kern := range c.kernels {
+		fk := make([]complex128, m)
+		copy(fk, kern)
+		radix2(fk, false)
+		c.kernelFFTs[j] = fk
+	}
+}
+
+// NumScales returns the number of scales in the bank.
+func (c *CWT) NumScales() int { return len(c.scales) }
+
+// Scale returns the scale (in samples) of scale index j.
+func (c *CWT) Scale(j int) float64 { return c.scales[j] }
+
+// CenterFrequency returns the center frequency (cycles/sample) of scale j.
+func (c *CWT) CenterFrequency(j int) float64 {
+	return MorletOmega0 / (2 * math.Pi * c.scales[j])
+}
+
+// morletKernel returns the sampled, conjugated, time-reversed Morlet wavelet
+// at scale s, normalized by 1/√s, ready for linear convolution.
+func morletKernel(s float64) []complex128 {
+	half := int(math.Ceil(kernelHalfWidthSigmas * s))
+	n := 2*half + 1
+	k := make([]complex128, n)
+	norm := math.Pow(math.Pi, -0.25) / math.Sqrt(s)
+	for i := 0; i < n; i++ {
+		t := float64(i-half) / s
+		env := norm * math.Exp(-0.5*t*t)
+		// Conjugate of exp(iω0 t) evaluated at reversed time equals
+		// exp(iω0 t) at forward time; Morlet is symmetric in envelope.
+		k[i] = complex(env*math.Cos(MorletOmega0*t), env*math.Sin(MorletOmega0*t))
+	}
+	return k
+}
+
+// Transform returns the 2-D magnitude scalogram of x: out[j][k] = |W(s_j, k)|.
+// The output has len(c.scales) rows and len(x) columns.
+//
+// Transform is not safe for concurrent use: the FFT plan cache is shared.
+func (c *CWT) Transform(x []float64) [][]float64 {
+	out := make([][]float64, len(c.scales))
+	n := len(x)
+	if n == 0 {
+		for j := range out {
+			out[j] = nil
+		}
+		return out
+	}
+	c.plan(n)
+	m := c.planLen
+	fx := make([]complex128, m)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	radix2(fx, false)
+	invM := 1 / float64(m)
+	prod := make([]complex128, m)
+	for j := range c.kernels {
+		fk := c.kernelFFTs[j]
+		for i := range prod {
+			prod[i] = fx[i] * fk[i]
+		}
+		radix2(prod, true)
+		off := (len(c.kernels[j]) - 1) / 2
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := prod[i+off]
+			row[i] = invM * math.Hypot(real(v), imag(v))
+		}
+		out[j] = row
+	}
+	return out
+}
+
+// TransformFlat is Transform with the scalogram flattened row-major into a
+// single vector of length NumScales()*len(x) — the layout the feature
+// selector indexes with (scaleIndex, timeIndex).
+func (c *CWT) TransformFlat(x []float64) []float64 {
+	rows := c.Transform(x)
+	n := 0
+	for _, r := range rows {
+		n += len(r)
+	}
+	flat := make([]float64, 0, n)
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	return flat
+}
+
+// AlignByCrossCorrelation shifts trace so that its cross-correlation with
+// ref is maximized within ±maxShift samples, returning the aligned copy and
+// the shift that was applied. Out-of-range samples are filled with the edge
+// value. The paper uses wavelet-domain alignment; integer-shift
+// cross-correlation is the time-domain equivalent for synthetic traces.
+func AlignByCrossCorrelation(ref, trace []float64, maxShift int) ([]float64, int) {
+	if len(ref) != len(trace) || maxShift <= 0 {
+		out := make([]float64, len(trace))
+		copy(out, trace)
+		return out, 0
+	}
+	best, bestShift := math.Inf(-1), 0
+	for sh := -maxShift; sh <= maxShift; sh++ {
+		var c float64
+		for i := range ref {
+			j := i + sh
+			if j < 0 || j >= len(trace) {
+				continue
+			}
+			c += ref[i] * trace[j]
+		}
+		if c > best {
+			best, bestShift = c, sh
+		}
+	}
+	out := make([]float64, len(trace))
+	for i := range out {
+		j := i + bestShift
+		if j < 0 {
+			j = 0
+		}
+		if j >= len(trace) {
+			j = len(trace) - 1
+		}
+		out[i] = trace[j]
+	}
+	return out, bestShift
+}

@@ -1,0 +1,367 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownImpulse(t *testing.T) {
+	// DFT of an impulse is all ones.
+	x := []complex128{1, 0, 0, 0}
+	y := FFT(x)
+	for i, v := range y {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("FFT(impulse)[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTKnownSinusoid(t *testing.T) {
+	// A pure complex exponential at bin 3 of a 16-point DFT produces a
+	// single spike of height 16.
+	n := 16
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(i)/float64(n)))
+	}
+	y := FFT(x)
+	for k := 0; k < n; k++ {
+		want := 0.0
+		if k == 3 {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(y[k])-want) > 1e-9 {
+			t.Fatalf("bin %d magnitude %g, want %g", k, cmplx.Abs(y[k]), want)
+		}
+	}
+}
+
+func TestFFTRoundTripPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	y := IFFT(FFT(x))
+	for i := range x {
+		if cmplx.Abs(x[i]-y[i]) > 1e-10 {
+			t.Fatalf("round trip mismatch at %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestFFTRoundTripArbitraryLength(t *testing.T) {
+	// 315 = the paper's trace length; exercises Bluestein.
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{3, 7, 50, 315} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(x[i]-y[i]) > 1e-9 {
+				t.Fatalf("n=%d round trip mismatch at %d: %v vs %v", n, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+func TestBluesteinMatchesNaiveDFT(t *testing.T) {
+	n := 13
+	rng := rand.New(rand.NewSource(11))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	got := FFT(x)
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			want += x[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		if cmplx.Abs(got[k]-want) > 1e-9 {
+			t.Fatalf("bin %d: got %v, want %v", k, got[k], want)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + int(rng.Int31n(40))
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			sum[i] = a[i] + 2*b[i]
+		}
+		fa, fb, fs := FFT(a), FFT(b), FFT(sum)
+		for i := 0; i < n; i++ {
+			if cmplx.Abs(fs[i]-(fa[i]+2*fb[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Energy in time equals energy/N in frequency.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(rng.Int31n(100))
+		x := make([]complex128, n)
+		var et float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		y := FFT(x)
+		var ef float64
+		for _, v := range y {
+			ef += real(v)*real(v) + imag(v)*imag(v)
+		}
+		ef /= float64(n)
+		return math.Abs(et-ef) < 1e-7*(1+et)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolveKnown(t *testing.T) {
+	got := Convolve([]float64{1, 2, 3}, []float64{0, 1, 0.5})
+	want := []float64{0, 1, 2.5, 4, 1.5}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := make([]float64, 37)
+	b := make([]float64, 12)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	got := Convolve(a, b)
+	for n := 0; n < len(a)+len(b)-1; n++ {
+		var want float64
+		for k := 0; k < len(a); k++ {
+			if j := n - k; j >= 0 && j < len(b) {
+				want += a[k] * b[j]
+			}
+		}
+		if math.Abs(got[n]-want) > 1e-9 {
+			t.Fatalf("conv[%d] = %g, want %g", n, got[n], want)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Fatalf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNewCWTValidation(t *testing.T) {
+	if _, err := NewCWT(0, 2, 80); err == nil {
+		t.Fatal("want error for zero scales")
+	}
+	if _, err := NewCWT(10, -1, 80); err == nil {
+		t.Fatal("want error for negative min scale")
+	}
+	if _, err := NewCWT(10, 80, 2); err == nil {
+		t.Fatal("want error for inverted range")
+	}
+}
+
+func TestCWTScalesAreGeometric(t *testing.T) {
+	c, err := NewCWT(50, 2, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumScales() != 50 {
+		t.Fatalf("NumScales = %d", c.NumScales())
+	}
+	if math.Abs(c.Scale(0)-2) > 1e-12 || math.Abs(c.Scale(49)-80) > 1e-9 {
+		t.Fatalf("scale endpoints %g, %g", c.Scale(0), c.Scale(49))
+	}
+	// Ratio between consecutive scales must be constant.
+	r := c.Scale(1) / c.Scale(0)
+	for j := 2; j < 50; j++ {
+		if math.Abs(c.Scale(j)/c.Scale(j-1)-r) > 1e-9 {
+			t.Fatalf("scales not geometric at %d", j)
+		}
+	}
+	// Center frequency decreases with scale.
+	for j := 1; j < 50; j++ {
+		if c.CenterFrequency(j) >= c.CenterFrequency(j-1) {
+			t.Fatal("center frequency must decrease with scale index")
+		}
+	}
+}
+
+func TestCWTLocalizesSinusoid(t *testing.T) {
+	// A pure sinusoid at frequency f should produce maximal CWT response at
+	// the scale whose center frequency is closest to f.
+	c, err := NewCWT(30, 2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 512
+	freq := 0.08 // cycles/sample
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freq * float64(i))
+	}
+	sc := c.Transform(x)
+	// Find the scale with the max mid-trace magnitude.
+	bestJ, bestV := -1, 0.0
+	for j := range sc {
+		v := sc[j][n/2]
+		if v > bestV {
+			bestJ, bestV = j, v
+		}
+	}
+	// Find the scale whose center frequency is nearest freq.
+	wantJ, wantD := -1, math.Inf(1)
+	for j := 0; j < c.NumScales(); j++ {
+		d := math.Abs(c.CenterFrequency(j) - freq)
+		if d < wantD {
+			wantJ, wantD = j, d
+		}
+	}
+	if abs := math.Abs(float64(bestJ - wantJ)); abs > 2 {
+		t.Fatalf("CWT peak at scale %d (f=%.4f), expected near %d (f=%.4f)",
+			bestJ, c.CenterFrequency(bestJ), wantJ, c.CenterFrequency(wantJ))
+	}
+}
+
+func TestCWTTransformShape(t *testing.T) {
+	c, _ := NewCWT(50, 2, 80)
+	x := make([]float64, 315)
+	sc := c.Transform(x)
+	if len(sc) != 50 {
+		t.Fatalf("rows = %d", len(sc))
+	}
+	for j := range sc {
+		if len(sc[j]) != 315 {
+			t.Fatalf("row %d has %d cols", j, len(sc[j]))
+		}
+	}
+	flat := c.TransformFlat(x)
+	if len(flat) != 50*315 {
+		t.Fatalf("flat len = %d, want %d", len(flat), 50*315)
+	}
+}
+
+func TestCWTZeroSignalIsZero(t *testing.T) {
+	c, _ := NewCWT(10, 2, 20)
+	sc := c.Transform(make([]float64, 100))
+	for j := range sc {
+		for k := range sc[j] {
+			if sc[j][k] != 0 {
+				t.Fatalf("CWT of zero signal nonzero at (%d,%d): %g", j, k, sc[j][k])
+			}
+		}
+	}
+}
+
+func TestCWTMagnitudeNonNegativeProperty(t *testing.T) {
+	c, _ := NewCWT(8, 2, 30)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 64)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for _, row := range c.Transform(x) {
+			for _, v := range row {
+				if v < 0 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignByCrossCorrelation(t *testing.T) {
+	n := 200
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = math.Exp(-math.Pow(float64(i-100)/8, 2))
+	}
+	// Shift the reference by +5 samples.
+	shifted := make([]float64, n)
+	for i := range shifted {
+		j := i - 5
+		if j >= 0 && j < n {
+			shifted[i] = ref[j]
+		}
+	}
+	aligned, sh := AlignByCrossCorrelation(ref, shifted, 10)
+	if sh != 5 {
+		t.Fatalf("detected shift %d, want 5", sh)
+	}
+	for i := 20; i < n-20; i++ {
+		if math.Abs(aligned[i]-ref[i]) > 1e-9 {
+			t.Fatalf("aligned[%d] = %g, want %g", i, aligned[i], ref[i])
+		}
+	}
+}
+
+func TestAlignNoShiftForIdentical(t *testing.T) {
+	x := []float64{1, 2, 3, 2, 1}
+	_, sh := AlignByCrossCorrelation(x, x, 2)
+	if sh != 0 {
+		t.Fatalf("shift = %d, want 0", sh)
+	}
+}
+
+func BenchmarkFFT315(b *testing.B) {
+	x := make([]complex128, 315)
+	for i := range x {
+		x[i] = complex(float64(i%7), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkCWT50x315(b *testing.B) {
+	c, _ := NewCWT(50, 2, 80)
+	x := make([]float64, 315)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transform(x)
+	}
+}

@@ -1,0 +1,406 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// synthTrace builds a trace with a class-dependent tone plus noise; class 0
+// uses 0.05 cycles/sample, class 1 uses 0.15, so their CWT scalograms differ
+// at distinct scales.
+func synthTrace(rng *rand.Rand, class int, offset float64) []float64 {
+	n := 160
+	freq := 0.05
+	if class == 1 {
+		freq = 0.15
+	}
+	tr := make([]float64, n)
+	for t := range tr {
+		tr[t] = math.Sin(2*math.Pi*freq*float64(t)) + offset + rng.NormFloat64()*0.05
+	}
+	return tr
+}
+
+func synthDataset(rng *rand.Rand, perClassPerProg, nProgs int, progOffset bool) (traces [][]float64, labels, programs []int) {
+	for c := 0; c < 2; c++ {
+		for p := 0; p < nProgs; p++ {
+			off := 0.0
+			if progOffset {
+				off = 0.4 * float64(p)
+			}
+			for i := 0; i < perClassPerProg; i++ {
+				traces = append(traces, synthTrace(rng, c, off))
+				labels = append(labels, c)
+				programs = append(programs, p)
+			}
+		}
+	}
+	return
+}
+
+func TestPointStats(t *testing.T) {
+	ps := NewPointStats(2)
+	if err := ps.Add([]float64{1, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Add([]float64{3, 10}); err != nil {
+		t.Fatal(err)
+	}
+	g0 := ps.Gaussian(0)
+	if g0.Mean != 2 || math.Abs(g0.StdDev-math.Sqrt2) > 1e-12 {
+		t.Fatalf("g0 = %+v", g0)
+	}
+	g1 := ps.Gaussian(1)
+	if g1.Mean != 10 || g1.StdDev != 0 {
+		t.Fatalf("g1 = %+v", g1)
+	}
+	if err := ps.Add([]float64{1}); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestLocalMaxima2D(t *testing.T) {
+	m := [][]float64{
+		{0, 0, 0, 0, 0},
+		{0, 5, 0, 0, 0},
+		{0, 0, 0, 7, 0},
+		{0, 0, 0, 0, 0},
+	}
+	peaks := LocalMaxima2D(m)
+	if len(peaks) != 2 {
+		t.Fatalf("found %d peaks, want 2: %v", len(peaks), peaks)
+	}
+	want := map[Point]bool{{1, 1}: true, {2, 3}: true}
+	for _, p := range peaks {
+		if !want[p] {
+			t.Fatalf("unexpected peak %+v", p)
+		}
+	}
+	// A plateau is not a strict maximum.
+	flat := [][]float64{
+		{1, 1, 1},
+		{1, 1, 1},
+		{1, 1, 1},
+	}
+	if peaks := LocalMaxima2D(flat); len(peaks) != 0 {
+		t.Fatalf("plateau produced peaks: %v", peaks)
+	}
+}
+
+func TestBetweenClassKLFindsDiscriminativeScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sel, err := NewSelector(160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b [][]float64
+	for i := 0; i < 40; i++ {
+		a = append(a, synthTrace(rng, 0, 0))
+		b = append(b, synthTrace(rng, 1, 0))
+	}
+	sa, err := sel.AccumulateStats(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := sel.AccumulateStats(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	klMap, err := sel.BetweenClassKL(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The divergence must be large at the scales matching the two tones and
+	// small at a far-away scale. Find scale indices for each frequency.
+	scaleFor := func(f float64) int {
+		best, bd := 0, math.Inf(1)
+		for j := 0; j < sel.CWT.NumScales(); j++ {
+			if d := math.Abs(sel.CWT.CenterFrequency(j) - f); d < bd {
+				best, bd = j, d
+			}
+		}
+		return best
+	}
+	mid := 80
+	j0, j1 := scaleFor(0.05), scaleFor(0.15)
+	jFar := scaleFor(0.45)
+	if klMap[j0][mid] < 10*klMap[jFar][mid] && klMap[j1][mid] < 10*klMap[jFar][mid] {
+		t.Fatalf("KL map not discriminative: tone scales %g/%g vs far %g",
+			klMap[j0][mid], klMap[j1][mid], klMap[jFar][mid])
+	}
+}
+
+func TestNotVaryingMaskFlagsOffsetSensitivePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sel, err := NewSelector(160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel.KLth = 0.05
+	// Two programs of the same class with very different DC offsets.
+	perProg := map[int]*PointStats{}
+	for p := 0; p < 2; p++ {
+		var trs [][]float64
+		for i := 0; i < 30; i++ {
+			trs = append(trs, synthTrace(rng, 0, 3*float64(p)))
+		}
+		ps, err := sel.AccumulateStats(trs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perProg[p] = ps
+	}
+	mask, err := sel.NotVaryingMask(perProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varying := 0
+	for _, ok := range mask {
+		if !ok {
+			varying++
+		}
+	}
+	if varying == 0 {
+		t.Fatal("a 3.0 DC offset between programs should mark some points varying")
+	}
+	if varying == len(mask) {
+		t.Fatal("not every point should be varying")
+	}
+	if _, err := sel.NotVaryingMask(map[int]*PointStats{0: NewPointStats(sel.numPoints())}); err == nil {
+		t.Fatal("want error for single program")
+	}
+}
+
+func TestSelectPairAndUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sel, err := NewSelector(160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b [][]float64
+	for i := 0; i < 40; i++ {
+		a = append(a, synthTrace(rng, 0, 0))
+		b = append(b, synthTrace(rng, 1, 0))
+	}
+	sa, _ := sel.AccumulateStats(a)
+	sb, _ := sel.AccumulateStats(b)
+	pf, err := sel.SelectPair(0, 1, sa, sb, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Points) == 0 || len(pf.Points) > sel.TopPerPair {
+		t.Fatalf("selected %d points, want 1..%d", len(pf.Points), sel.TopPerPair)
+	}
+	for i := 1; i < len(pf.KL); i++ {
+		if pf.KL[i] > pf.KL[0] && i > 0 {
+			// ordering is by (not-varying, KL); with nil masks it is pure KL
+			t.Fatalf("points not ranked by KL: %v", pf.KL)
+		}
+	}
+	u := UnionPoints([]PairFeatures{pf, pf})
+	if len(u) != len(dedup(pf.Points)) {
+		t.Fatalf("union of identical pairs should deduplicate: %d vs %d", len(u), len(dedup(pf.Points)))
+	}
+}
+
+func dedup(ps []Point) []Point {
+	seen := map[Point]bool{}
+	var out []Point
+	for _, p := range ps {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestExtractPointsValidation(t *testing.T) {
+	sel, err := NewSelector(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := make([]float64, 100)
+	if _, err := sel.ExtractPoints(tr[:50], []Point{{0, 0}}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := sel.ExtractPoints(tr, []Point{{99, 0}}); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	got, err := sel.ExtractPoints(tr, []Point{{0, 0}, {10, 50}})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("extract: %v %v", got, err)
+	}
+}
+
+func TestFitPCAAndTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Data living mostly along direction (1, 1, 0).
+	var X [][]float64
+	for i := 0; i < 200; i++ {
+		v := rng.NormFloat64() * 3
+		X = append(X, []float64{v + rng.NormFloat64()*0.1, v + rng.NormFloat64()*0.1, rng.NormFloat64() * 0.1})
+	}
+	pca, err := FitPCA(X, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pca.NumComponents() != 3 || pca.InputDim() != 3 {
+		t.Fatalf("dims %d/%d", pca.NumComponents(), pca.InputDim())
+	}
+	if ev := pca.ExplainedVariance(1); ev < 0.95 {
+		t.Fatalf("first PC should capture >95%% variance, got %g", ev)
+	}
+	y, err := pca.Transform(X[0])
+	if err != nil || len(y) != 3 {
+		t.Fatalf("transform: %v %v", y, err)
+	}
+	// First component direction ≈ (1,1,0)/√2.
+	c0 := []float64{pca.Components.At(0, 0), pca.Components.At(0, 1), pca.Components.At(0, 2)}
+	if math.Abs(math.Abs(c0[0])-1/math.Sqrt2) > 0.05 || math.Abs(c0[2]) > 0.1 {
+		t.Fatalf("first PC direction %v", c0)
+	}
+	if _, err := pca.Transform([]float64{1}); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, err := FitPCA(X, 0); err == nil {
+		t.Fatal("want k>=1 error")
+	}
+	if _, err := FitPCA(X[:1], 1); err == nil {
+		t.Fatal("want sample-count error")
+	}
+	// k > p clamps.
+	pca2, err := FitPCA(X, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pca2.NumComponents() != 3 {
+		t.Fatalf("k should clamp to 3, got %d", pca2.NumComponents())
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	traces, labels, programs := synthDataset(rng, 20, 3, false)
+	cfg := DefaultPipelineConfig()
+	cfg.NumComponents = 3
+	pl, err := FitPipeline(traces, labels, programs, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumFeatures() > 3 || pl.NumFeatures() < 1 {
+		t.Fatalf("NumFeatures = %d", pl.NumFeatures())
+	}
+	if pl.NumPoints() == 0 || pl.NumPoints() > 5 {
+		t.Fatalf("NumPoints = %d, want 1..5 for a single pair", pl.NumPoints())
+	}
+	if pl.PairCount() != 1 || pl.NumClasses() != 2 {
+		t.Fatalf("pairs=%d classes=%d", pl.PairCount(), pl.NumClasses())
+	}
+	// Features must separate the two classes linearly: check the projected
+	// class means are further apart than the average within-class spread.
+	f0, err := pl.Extract(synthTrace(rng, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m0, m1 []float64
+	n0, n1 := 0, 0
+	for i := 0; i < 30; i++ {
+		a, _ := pl.Extract(synthTrace(rng, 0, 0))
+		b, _ := pl.Extract(synthTrace(rng, 1, 0))
+		if m0 == nil {
+			m0 = make([]float64, len(a))
+			m1 = make([]float64, len(b))
+		}
+		for j := range a {
+			m0[j] += a[j]
+			m1[j] += b[j]
+		}
+		n0++
+		n1++
+	}
+	var sep float64
+	for j := range m0 {
+		d := m0[j]/float64(n0) - m1[j]/float64(n1)
+		sep += d * d
+	}
+	if math.Sqrt(sep) < 0.5 {
+		t.Fatalf("projected class means too close: %g", math.Sqrt(sep))
+	}
+	_ = f0
+
+	// Pair vector access.
+	pv, err := pl.PairVector(0, traces[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pv) > 3 {
+		t.Fatalf("PairVector returned %d values, want <=3", len(pv))
+	}
+	a, b := pl.PairLabels(0)
+	if a != 0 || b != 1 {
+		t.Fatalf("pair labels %d,%d", a, b)
+	}
+	if _, err := pl.PairVector(9, traces[0], 0); err == nil {
+		t.Fatal("want pair range error")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	cfg := DefaultPipelineConfig()
+	if _, err := FitPipeline(nil, nil, nil, 2, cfg); err == nil {
+		t.Fatal("want error for empty input")
+	}
+	tr := [][]float64{make([]float64, 50), make([]float64, 50)}
+	if _, err := FitPipeline(tr, []int{0, 1}, []int{0}, 2, cfg); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+	if _, err := FitPipeline(tr, []int{0, 5}, []int{0, 0}, 2, cfg); err == nil {
+		t.Fatal("want error for out-of-range label")
+	}
+	if _, err := FitPipeline(tr, []int{0, 0}, []int{0, 0}, 1, cfg); err == nil {
+		t.Fatal("want error for single class")
+	}
+}
+
+func TestCSAPipelineCancelsOffsetShift(t *testing.T) {
+	// Fit on programs with varying offsets using CSA; a test trace with an
+	// unseen offset must land near its class's training features.
+	rng := rand.New(rand.NewSource(6))
+	traces, labels, programs := synthDataset(rng, 20, 4, true)
+	cfg := CSAPipelineConfig()
+	cfg.NumComponents = 2
+	pl, err := FitPipeline(traces, labels, programs, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unseen, much larger offset.
+	shifted, _ := pl.Extract(synthTrace(rng, 0, 5.0))
+	clean, _ := pl.Extract(synthTrace(rng, 0, 0))
+	other, _ := pl.Extract(synthTrace(rng, 1, 0))
+	d := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += (a[i] - b[i]) * (a[i] - b[i])
+		}
+		return math.Sqrt(s)
+	}
+	if d(shifted, clean) > d(shifted, other) {
+		t.Fatalf("CSA failed: shifted class-0 trace closer to class 1 (%g vs %g)",
+			d(shifted, clean), d(shifted, other))
+	}
+}
+
+func TestNormalizeTraceIdempotentOnFeatures(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	once := stats.NormalizeTrace(x)
+	twice := stats.NormalizeTrace(once)
+	for i := range once {
+		if math.Abs(once[i]-twice[i]) > 1e-9 {
+			t.Fatal("per-trace normalization should be idempotent")
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package features
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// PCA projects feature vectors onto the leading principal components of the
+// training distribution (Section 3.2 of the paper).
+type PCA struct {
+	Mean       []float64
+	Components *linalg.Matrix // k×p: rows are principal directions
+	EigVals    []float64      // variance along each kept component
+}
+
+// jacobiMaxDim is the largest input dimensionality solved with a dense
+// eigendecomposition; above it, FitPCA switches to matrix-free subspace
+// iteration (the KL-selected unions of large class sets — e.g. the 496
+// register pairs — can exceed 2 000 points, where O(p³) Jacobi is hopeless).
+const jacobiMaxDim = 400
+
+// FitPCA learns a k-component PCA from rows of X. k is clamped to the
+// number of dimensions.
+func FitPCA(X [][]float64, k int) (*PCA, error) {
+	if len(X) < 2 {
+		return nil, errors.New("features: PCA needs at least 2 samples")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("features: PCA needs k >= 1, got %d", k)
+	}
+	M, err := linalg.FromRows(X)
+	if err != nil {
+		return nil, err
+	}
+	p := M.Cols
+	if k > p {
+		k = p
+	}
+	mu := linalg.Mean(M)
+	if p > jacobiMaxDim {
+		return fitPCASubspace(M, mu, k)
+	}
+	cov, err := linalg.Covariance(M, mu)
+	if err != nil {
+		return nil, err
+	}
+	vals, V, err := linalg.EigenSym(cov)
+	if err != nil {
+		return nil, err
+	}
+	comp := linalg.NewMatrix(k, p)
+	for c := 0; c < k; c++ {
+		for r := 0; r < p; r++ {
+			comp.Set(c, r, V.At(r, c))
+		}
+	}
+	return &PCA{Mean: mu, Components: comp, EigVals: vals[:k]}, nil
+}
+
+// fitPCASubspace computes the leading k principal components by block power
+// iteration on the centered data, never forming the p×p covariance:
+// V ← orth(Cᵀ(C·V)/(n−1)) with C the centered data matrix.
+func fitPCASubspace(M *linalg.Matrix, mu []float64, k int) (*PCA, error) {
+	n, p := M.Rows, M.Cols
+	C := M.Clone()
+	for i := 0; i < n; i++ {
+		row := C.Row(i)
+		for j := range row {
+			row[j] -= mu[j]
+		}
+	}
+	// Deterministic pseudo-random init.
+	V := linalg.NewMatrix(p, k)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range V.Data {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		V.Data[i] = float64(int64(state%2001)-1000) / 1000
+	}
+	orthonormalizeColumns(V)
+	inv := 1 / float64(n-1)
+	const iters = 12
+	for it := 0; it < iters; it++ {
+		// W = C·V (n×k), then V ← Cᵀ·W scaled.
+		W, err := C.Mul(V)
+		if err != nil {
+			return nil, err
+		}
+		next := linalg.NewMatrix(p, k)
+		for i := 0; i < n; i++ {
+			ci := C.Row(i)
+			wi := W.Row(i)
+			for j := 0; j < p; j++ {
+				cij := ci[j]
+				if cij == 0 {
+					continue
+				}
+				nj := next.Row(j)
+				for c := 0; c < k; c++ {
+					nj[c] += cij * wi[c]
+				}
+			}
+		}
+		next.Scale(inv)
+		V = next
+		orthonormalizeColumns(V)
+	}
+	// Rayleigh-quotient eigenvalues: λ_c = ‖C·v_c‖²/(n−1).
+	vals := make([]float64, k)
+	W, err := C.Mul(V)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < k; c++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			v := W.At(i, c)
+			s += v * v
+		}
+		vals[c] = s * inv
+	}
+	comp := linalg.NewMatrix(k, p)
+	for c := 0; c < k; c++ {
+		for r := 0; r < p; r++ {
+			comp.Set(c, r, V.At(r, c))
+		}
+	}
+	return &PCA{Mean: mu, Components: comp, EigVals: vals}, nil
+}
+
+// orthonormalizeColumns runs modified Gram–Schmidt over the columns of V.
+func orthonormalizeColumns(V *linalg.Matrix) {
+	p, k := V.Rows, V.Cols
+	col := make([]float64, p)
+	for c := 0; c < k; c++ {
+		for r := 0; r < p; r++ {
+			col[r] = V.At(r, c)
+		}
+		for prev := 0; prev < c; prev++ {
+			var dot float64
+			for r := 0; r < p; r++ {
+				dot += col[r] * V.At(r, prev)
+			}
+			for r := 0; r < p; r++ {
+				col[r] -= dot * V.At(r, prev)
+			}
+		}
+		norm := linalg.Norm2(col)
+		if norm < 1e-12 {
+			// Degenerate direction: reset to a unit basis vector.
+			for r := range col {
+				col[r] = 0
+			}
+			col[c%p] = 1
+			norm = 1
+		}
+		for r := 0; r < p; r++ {
+			V.Set(r, c, col[r]/norm)
+		}
+	}
+}
+
+// NumComponents returns the number of retained components k.
+func (pc *PCA) NumComponents() int { return pc.Components.Rows }
+
+// InputDim returns the expected input dimensionality p.
+func (pc *PCA) InputDim() int { return pc.Components.Cols }
+
+// Transform projects x onto the principal components.
+func (pc *PCA) Transform(x []float64) ([]float64, error) {
+	p := pc.InputDim()
+	if len(x) != p {
+		return nil, fmt.Errorf("features: PCA input dim %d, want %d", len(x), p)
+	}
+	centered := make([]float64, p)
+	for i := range x {
+		centered[i] = x[i] - pc.Mean[i]
+	}
+	return pc.Components.MulVec(centered)
+}
+
+// TransformAll projects every row.
+func (pc *PCA) TransformAll(X [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		y, err := pc.Transform(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// ExplainedVariance returns the fraction of total variance captured by the
+// first m components (m ≤ k); the total is taken over all p directions, so
+// callers should fit with k = p when they need exact ratios.
+func (pc *PCA) ExplainedVariance(m int) float64 {
+	if m > len(pc.EigVals) {
+		m = len(pc.EigVals)
+	}
+	var kept, total float64
+	for i, v := range pc.EigVals {
+		if v < 0 {
+			v = 0
+		}
+		if i < m {
+			kept += v
+		}
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return kept / total
+}

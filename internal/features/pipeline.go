@@ -1,0 +1,279 @@
+package features
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// PipelineConfig controls the end-to-end feature extraction of Fig. 1:
+// CWT → KL selection → normalization → PCA.
+type PipelineConfig struct {
+	// UseMask enables the within-class not-varying filter of Def. 3.1. The
+	// paper's initial regime effectively selects the highest between-class
+	// KL peaks (Fig. 3's failing "3 highest peaks" choice) because too few
+	// profiling programs make the not-varying estimate unreliable; covariate
+	// shift adaptation turns the reliable version of the filter on.
+	UseMask bool
+	// KLth is the within-class not-varying threshold (0.005 default, 0.0005
+	// under covariate shift adaptation). Only meaningful with UseMask.
+	KLth float64
+	// TopPerPair is the DNVP count per class pair (paper: 5).
+	TopPerPair int
+	// NumComponents is the PCA output dimensionality.
+	NumComponents int
+	// PerTraceNorm standardizes each trace's CWT scalogram by its own
+	// mean/std before any statistics, masks, or feature values are taken
+	// from it — the covariate shift adaptation normalization. A program- or
+	// device-level gain/offset moves every coefficient of a trace together,
+	// so this normalization cancels it exactly; the not-varying masks are
+	// then computed on shift-free data and keep the informative points.
+	PerTraceNorm bool
+	// Standardize applies a training-set z-score before PCA (Fig. 1's
+	// normalization stage).
+	Standardize bool
+}
+
+// DefaultPipelineConfig mirrors the paper's base configuration.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		KLth:          0.005,
+		TopPerPair:    5,
+		NumComponents: 25,
+		Standardize:   true,
+	}
+}
+
+// CSAPipelineConfig returns the covariate-shift-adapted configuration of
+// Section 5.5: tighter KLth and per-trace normalization.
+func CSAPipelineConfig() PipelineConfig {
+	cfg := DefaultPipelineConfig()
+	cfg.UseMask = true
+	cfg.KLth = 0.0005
+	cfg.PerTraceNorm = true
+	return cfg
+}
+
+// Pipeline converts raw traces into low-dimensional classifier inputs. It is
+// fitted once on labeled training traces and then applied to any trace.
+type Pipeline struct {
+	cfg      PipelineConfig
+	sel      *Selector
+	Points   []Point // unified DNVP
+	Pairs    []PairFeatures
+	pairIdx  [][]int // per pair: indices of its points within Points
+	z        *stats.ZScoreNormalizer
+	pca      *PCA
+	nClasses int
+}
+
+// FitPipeline learns the full extraction chain from labeled traces.
+// programs gives the program-file ID of each trace (used for the
+// within-class not-varying masks); labels must be 0..nClasses-1.
+func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg PipelineConfig) (*Pipeline, error) {
+	if len(traces) == 0 || len(traces) != len(labels) || len(traces) != len(programs) {
+		return nil, errors.New("features: FitPipeline needs equal-length traces/labels/programs")
+	}
+	if nClasses < 2 {
+		return nil, fmt.Errorf("features: FitPipeline needs >= 2 classes, got %d", nClasses)
+	}
+	sel, err := NewSelector(len(traces[0]))
+	if err != nil {
+		return nil, err
+	}
+	sel.KLth = cfg.KLth
+	sel.TopPerPair = cfg.TopPerPair
+
+	// Pass 1: accumulate per-class and per-(class, program) statistics.
+	classStats := make([]*PointStats, nClasses)
+	perProgram := make([]map[int]*PointStats, nClasses)
+	for c := range classStats {
+		classStats[c] = NewPointStats(sel.numPoints())
+		perProgram[c] = map[int]*PointStats{}
+	}
+	pl := &Pipeline{cfg: cfg, sel: sel, nClasses: nClasses}
+	for i, tr := range traces {
+		l := labels[i]
+		if l < 0 || l >= nClasses {
+			return nil, fmt.Errorf("features: label %d out of range [0,%d)", l, nClasses)
+		}
+		flat := pl.flatScalogram(tr)
+		if err := classStats[l].Add(flat); err != nil {
+			return nil, err
+		}
+		pp := perProgram[l][programs[i]]
+		if pp == nil {
+			pp = NewPointStats(sel.numPoints())
+			perProgram[l][programs[i]] = pp
+		}
+		if err := pp.Add(flat); err != nil {
+			return nil, err
+		}
+	}
+	// Not-varying masks per class (nil masks disable the filter).
+	masks := make([][]bool, nClasses)
+	if cfg.UseMask {
+		for c := 0; c < nClasses; c++ {
+			if len(perProgram[c]) >= 2 {
+				m, err := sel.NotVaryingMask(perProgram[c])
+				if err != nil {
+					return nil, err
+				}
+				masks[c] = m
+			}
+		}
+	}
+	// Pairwise DNVP selection.
+	var pairs []PairFeatures
+	for a := 0; a < nClasses; a++ {
+		for b := a + 1; b < nClasses; b++ {
+			if classStats[a].N < 2 || classStats[b].N < 2 {
+				return nil, fmt.Errorf("features: classes %d/%d lack traces", a, b)
+			}
+			pf, err := sel.SelectPair(a, b, classStats[a], classStats[b], masks[a], masks[b])
+			if err != nil {
+				return nil, err
+			}
+			pairs = append(pairs, pf)
+		}
+	}
+	points := UnionPoints(pairs)
+	pos := map[Point]int{}
+	for i, p := range points {
+		pos[p] = i
+	}
+	pairIdx := make([][]int, len(pairs))
+	for i, pf := range pairs {
+		idx := make([]int, len(pf.Points))
+		for j, p := range pf.Points {
+			idx[j] = pos[p]
+		}
+		pairIdx[i] = idx
+	}
+	pl.Points, pl.Pairs, pl.pairIdx = points, pairs, pairIdx
+
+	// Pass 2: extract training features and fit normalizer + PCA.
+	feats := make([][]float64, len(traces))
+	for i, tr := range traces {
+		f, err := pl.rawFeatures(tr)
+		if err != nil {
+			return nil, err
+		}
+		feats[i] = f
+	}
+	if cfg.Standardize {
+		z := &stats.ZScoreNormalizer{}
+		if err := z.Fit(feats); err != nil {
+			return nil, err
+		}
+		pl.z = z
+		if feats, err = z.ApplyAll(feats); err != nil {
+			return nil, err
+		}
+	}
+	k := cfg.NumComponents
+	if k < 1 {
+		k = len(points)
+	}
+	pca, err := FitPCA(feats, k)
+	if err != nil {
+		return nil, err
+	}
+	pl.pca = pca
+	return pl, nil
+}
+
+// flatScalogram computes the flattened CWT scalogram of a trace, per-trace
+// normalized when the pipeline runs in CSA mode.
+func (pl *Pipeline) flatScalogram(trace []float64) []float64 {
+	flat := pl.sel.CWT.TransformFlat(trace)
+	if pl.cfg.PerTraceNorm {
+		flat = stats.NormalizeTrace(flat)
+	}
+	return flat
+}
+
+// rawFeatures extracts the unified DNVP values from the (possibly
+// normalized) scalogram, before standardization/PCA.
+func (pl *Pipeline) rawFeatures(trace []float64) ([]float64, error) {
+	if len(trace) != pl.sel.TraceLen {
+		return nil, fmt.Errorf("features: trace length %d, want %d", len(trace), pl.sel.TraceLen)
+	}
+	flat := pl.flatScalogram(trace)
+	out := make([]float64, len(pl.Points))
+	for i, p := range pl.Points {
+		out[i] = flat[pl.sel.flatIndex(p)]
+	}
+	return out, nil
+}
+
+// Extract maps one trace to its final classifier input.
+func (pl *Pipeline) Extract(trace []float64) ([]float64, error) {
+	f, err := pl.rawFeatures(trace)
+	if err != nil {
+		return nil, err
+	}
+	if pl.z != nil {
+		if f, err = pl.z.Apply(f); err != nil {
+			return nil, err
+		}
+	}
+	return pl.pca.Transform(f)
+}
+
+// ExtractAll maps a batch of traces.
+func (pl *Pipeline) ExtractAll(traces [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(traces))
+	for i, tr := range traces {
+		f, err := pl.Extract(tr)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// NumFeatures returns the dimensionality Extract produces.
+func (pl *Pipeline) NumFeatures() int { return pl.pca.NumComponents() }
+
+// NumPoints returns the size of the unified DNVP set (the paper reports 205
+// for group 1: a 98.7 % reduction from 15 750).
+func (pl *Pipeline) NumPoints() int { return len(pl.Points) }
+
+// NumClasses returns the class count the pipeline was fitted for.
+func (pl *Pipeline) NumClasses() int { return pl.nClasses }
+
+// PairCount returns the number of class pairs.
+func (pl *Pipeline) PairCount() int { return len(pl.Pairs) }
+
+// PairVector slices a pair-specific feature vector (the paper's x_{i,j} for
+// majority voting) out of the unified raw feature vector of a trace.
+// maxVars truncates to the strongest maxVars points (0 = all).
+func (pl *Pipeline) PairVector(pair int, trace []float64, maxVars int) ([]float64, error) {
+	if pair < 0 || pair >= len(pl.Pairs) {
+		return nil, fmt.Errorf("features: pair %d out of range", pair)
+	}
+	f, err := pl.rawFeatures(trace)
+	if err != nil {
+		return nil, err
+	}
+	idx := pl.pairIdx[pair]
+	if maxVars > 0 && maxVars < len(idx) {
+		idx = idx[:maxVars]
+	}
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = f[j]
+	}
+	return out, nil
+}
+
+// PairLabels returns the class labels of pair index i.
+func (pl *Pipeline) PairLabels(pair int) (a, b int) {
+	return pl.Pairs[pair].A, pl.Pairs[pair].B
+}
+
+// Config returns the pipeline's configuration.
+func (pl *Pipeline) Config() PipelineConfig { return pl.cfg }

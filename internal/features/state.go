@@ -1,0 +1,61 @@
+package features
+
+import (
+	"errors"
+
+	"repro/internal/stats"
+)
+
+// PipelineState is the serializable form of a fitted Pipeline: everything
+// needed to rebuild the extraction chain without retraining.
+type PipelineState struct {
+	Cfg      PipelineConfig
+	TraceLen int
+	Points   []Point
+	Pairs    []PairFeatures
+	PairIdx  [][]int
+	Z        *stats.ZScoreNormalizer // nil when standardization is off
+	PCA      *PCA
+	NClasses int
+}
+
+// State snapshots a fitted pipeline.
+func (pl *Pipeline) State() (*PipelineState, error) {
+	if pl.pca == nil || pl.sel == nil {
+		return nil, errors.New("features: pipeline not fitted")
+	}
+	return &PipelineState{
+		Cfg:      pl.cfg,
+		TraceLen: pl.sel.TraceLen,
+		Points:   pl.Points,
+		Pairs:    pl.Pairs,
+		PairIdx:  pl.pairIdx,
+		Z:        pl.z,
+		PCA:      pl.pca,
+		NClasses: pl.nClasses,
+	}, nil
+}
+
+// PipelineFromState reconstructs a fitted pipeline (the CWT bank is rebuilt
+// deterministically from the trace length).
+func PipelineFromState(st *PipelineState) (*Pipeline, error) {
+	if st == nil || st.PCA == nil || len(st.Points) == 0 || st.TraceLen <= 0 {
+		return nil, errors.New("features: invalid pipeline state")
+	}
+	sel, err := NewSelector(st.TraceLen)
+	if err != nil {
+		return nil, err
+	}
+	sel.KLth = st.Cfg.KLth
+	sel.TopPerPair = st.Cfg.TopPerPair
+	return &Pipeline{
+		cfg:      st.Cfg,
+		sel:      sel,
+		Points:   st.Points,
+		Pairs:    st.Pairs,
+		pairIdx:  st.PairIdx,
+		z:        st.Z,
+		pca:      st.PCA,
+		nClasses: st.NClasses,
+	}, nil
+}

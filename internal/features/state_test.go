@@ -1,0 +1,69 @@
+package features
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPipelineStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	traces, labels, programs := synthDataset(rng, 15, 3, false)
+	cfg := CSAPipelineConfig()
+	cfg.NumComponents = 3
+	pl, err := FitPipeline(traces, labels, programs, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pl.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	var decoded PipelineState
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := PipelineFromState(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := synthTrace(rng, 1, 0)
+	a, err := pl.Extract(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pl2.Extract(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("feature dims differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("feature %d differs after restore: %g vs %g", i, a[i], b[i])
+		}
+	}
+	if pl2.NumPoints() != pl.NumPoints() || pl2.PairCount() != pl.PairCount() {
+		t.Fatal("metadata differs after restore")
+	}
+}
+
+func TestPipelineStateValidation(t *testing.T) {
+	var pl Pipeline
+	if _, err := pl.State(); err == nil {
+		t.Fatal("state of unfitted pipeline should fail")
+	}
+	if _, err := PipelineFromState(nil); err == nil {
+		t.Fatal("restore of nil should fail")
+	}
+	if _, err := PipelineFromState(&PipelineState{}); err == nil {
+		t.Fatal("restore of empty state should fail")
+	}
+}

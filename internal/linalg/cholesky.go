@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization fails.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	L *Matrix
+	n int
+}
+
+// NewCholesky factorizes the symmetric positive definite matrix a.
+// The input is not modified. If the factorization breaks down (the matrix is
+// singular or indefinite), ErrNotPositiveDefinite is returned.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d += v * v
+		}
+		d = a.At(j, j) - d
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, (a.At(i, j)-s)/ljj)
+		}
+	}
+	return &Cholesky{L: l, n: n}, nil
+}
+
+// RegularizedCholesky attempts to factorize a, adding geometrically
+// increasing ridge terms to the diagonal until the factorization succeeds.
+// This is what the discriminant classifiers use for near-singular
+// class covariance matrices. It returns the factorization and the ridge
+// value that was ultimately added (0 if none was needed).
+func RegularizedCholesky(a *Matrix, baseEps float64) (*Cholesky, float64, error) {
+	if baseEps <= 0 {
+		baseEps = 1e-10
+	}
+	if ch, err := NewCholesky(a); err == nil {
+		return ch, 0, nil
+	}
+	// Scale the ridge with the matrix magnitude so it is meaningful for both
+	// tiny and huge covariances.
+	var maxDiag float64
+	for i := 0; i < a.Rows; i++ {
+		if d := math.Abs(a.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		maxDiag = 1
+	}
+	eps := baseEps * maxDiag
+	for try := 0; try < 40; try++ {
+		b := a.Clone()
+		b.AddDiagonal(eps)
+		if ch, err := NewCholesky(b); err == nil {
+			return ch, eps, nil
+		}
+		eps *= 10
+	}
+	return nil, 0, ErrNotPositiveDefinite
+}
+
+// SolveVec solves A·x = b using the factorization.
+func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("linalg: SolveVec length %d != order %d", len(b), c.n)
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.L.At(i, k) * y[k]
+		}
+		y[i] = s / c.L.At(i, i)
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x, nil
+}
+
+// LogDet returns log(det(A)) = 2·Σ log(L[i][i]).
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}
+
+// Inverse returns A⁻¹ as a dense matrix.
+func (c *Cholesky) Inverse() (*Matrix, error) {
+	inv := NewMatrix(c.n, c.n)
+	e := make([]float64, c.n)
+	for j := 0; j < c.n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := c.SolveVec(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < c.n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// MahalanobisSq returns (x-mu)ᵀ A⁻¹ (x-mu) for the factorized A.
+func (c *Cholesky) MahalanobisSq(x, mu []float64) (float64, error) {
+	if len(x) != c.n || len(mu) != c.n {
+		return 0, fmt.Errorf("linalg: MahalanobisSq length mismatch (%d,%d) != %d", len(x), len(mu), c.n)
+	}
+	// Solve L·y = (x-mu); then the quadratic form is ‖y‖².
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := x[i] - mu[i]
+		for k := 0; k < i; k++ {
+			s -= c.L.At(i, k) * y[k]
+		}
+		y[i] = s / c.L.At(i, i)
+	}
+	var q float64
+	for _, v := range y {
+		q += v * v
+	}
+	return q, nil
+}
+
+// CholeskyFromFactor wraps an existing lower-triangular factor L (e.g. one
+// restored from persisted classifier state) as a usable factorization.
+func CholeskyFromFactor(L *Matrix) *Cholesky {
+	return &Cholesky{L: L, n: L.Rows}
+}

@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and
+// the corresponding eigenvectors as the columns of V (so a·V[:,k] =
+// values[k]·V[:,k]). The input is not modified.
+//
+// Jacobi is O(n³) per sweep but unconditionally stable and accurate for the
+// moderate sizes (≤ a few hundred) that PCA over KL-selected feature points
+// produces.
+func EigenSym(a *Matrix) (values []float64, V *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("linalg: EigenSym of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, NewMatrix(0, 0), nil
+	}
+	w := a.Clone()
+	V = Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < 1e-14*frobNorm(w) || off == 0 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Stable computation of the rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, V, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sorted := make([]float64, n)
+	Vs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sorted[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			Vs.Set(r, newCol, V.At(r, oldCol))
+		}
+	}
+	return sorted, Vs, nil
+}
+
+// rotate applies a Jacobi rotation in the (p,q) plane to w and accumulates
+// it into V.
+func rotate(w, V *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	app := w.At(p, p)
+	aqq := w.At(q, q)
+	apq := w.At(p, q)
+	w.Set(p, p, c*c*app-2*s*c*apq+s*s*aqq)
+	w.Set(q, q, s*s*app+2*s*c*apq+c*c*aqq)
+	w.Set(p, q, 0)
+	w.Set(q, p, 0)
+	for k := 0; k < n; k++ {
+		if k == p || k == q {
+			continue
+		}
+		akp := w.At(k, p)
+		akq := w.At(k, q)
+		w.Set(k, p, c*akp-s*akq)
+		w.Set(p, k, c*akp-s*akq)
+		w.Set(k, q, s*akp+c*akq)
+		w.Set(q, k, s*akp+c*akq)
+	}
+	for k := 0; k < n; k++ {
+		vkp := V.At(k, p)
+		vkq := V.At(k, q)
+		V.Set(k, p, c*vkp-s*vkq)
+		V.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				v := m.At(i, j)
+				s += v * v
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func frobNorm(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	if s == 0 {
+		return 1
+	}
+	return math.Sqrt(s)
+}

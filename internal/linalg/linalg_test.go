@@ -1,0 +1,400 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 3)
+	m.Set(1, 1, 5)
+	if m.At(0, 2) != 3 || m.At(1, 1) != 5 {
+		t.Fatalf("At/Set mismatch: %v", m.Data)
+	}
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 0) != 3 {
+		t.Fatalf("transpose content wrong: %v", tr.Data)
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone aliases original data")
+	}
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("want error for empty input")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("want error for ragged rows")
+	}
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("content wrong: %v", m.Data)
+	}
+}
+
+func TestMulAgainstKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Fatal("want dimension mismatch error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	y, err := a.MulVec([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 || y[1] != 6 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("want dimension mismatch error")
+	}
+}
+
+func TestIdentityMulIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	c, err := a.Mul(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if !almostEq(a.Data[i], c.Data[i], 1e-12) {
+			t.Fatalf("A·I != A at %d: %g vs %g", i, a.Data[i], c.Data[i])
+		}
+	}
+}
+
+func TestMeanAndCovariance(t *testing.T) {
+	X, _ := FromRows([][]float64{
+		{1, 2},
+		{3, 6},
+		{5, 10},
+	})
+	mu := Mean(X)
+	if !almostEq(mu[0], 3, 1e-12) || !almostEq(mu[1], 6, 1e-12) {
+		t.Fatalf("mean = %v", mu)
+	}
+	cov, err := Covariance(X, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// var(x)=4, var(y)=16, cov=8 (perfectly correlated, y=2x).
+	if !almostEq(cov.At(0, 0), 4, 1e-12) || !almostEq(cov.At(1, 1), 16, 1e-12) || !almostEq(cov.At(0, 1), 8, 1e-12) {
+		t.Fatalf("cov = %v", cov.Data)
+	}
+	if !almostEq(cov.At(0, 1), cov.At(1, 0), 1e-15) {
+		t.Fatal("covariance not symmetric")
+	}
+	if _, err := Covariance(NewMatrix(1, 2), nil); err == nil {
+		t.Fatal("want error for single-row covariance")
+	}
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{4, 2, 0.6},
+		{2, 5, 1.5},
+		{0.6, 1.5, 3},
+	})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, -2, 3}
+	x, err := ch.SolveVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.MulVec(x)
+	for i := range b {
+		if !almostEq(got[i], b[i], 1e-9) {
+			t.Fatalf("A·x != b: %v vs %v", got, b)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 1}, // eigenvalues 3 and -1
+	})
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("want ErrNotPositiveDefinite")
+	}
+}
+
+func TestRegularizedCholeskyRescuesSingular(t *testing.T) {
+	// Rank-1 matrix: vvᵀ with v=(1,2).
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	ch, ridge, err := RegularizedCholesky(a, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ridge <= 0 {
+		t.Fatalf("expected positive ridge, got %g", ridge)
+	}
+	if ch == nil {
+		t.Fatal("nil factorization")
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 0},
+		{0, 8},
+	})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ch.LogDet(), math.Log(16), 1e-12) {
+		t.Fatalf("logdet = %g, want %g", ch.LogDet(), math.Log(16))
+	}
+}
+
+func TestCholeskyInverse(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{4, 1},
+		{1, 3},
+	})
+	ch, _ := NewCholesky(a)
+	inv, err := ch.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(prod.At(i, j), want, 1e-10) {
+				t.Fatalf("A·A⁻¹ = %v", prod.Data)
+			}
+		}
+	}
+}
+
+func TestMahalanobisSq(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{4, 0},
+		{0, 9},
+	})
+	ch, _ := NewCholesky(a)
+	// (x-mu) = (2, 3): quadratic form = 4/4 + 9/9 = 2.
+	q, err := ch.MahalanobisSq([]float64{2, 3}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(q, 2, 1e-12) {
+		t.Fatalf("mahalanobis = %g, want 2", q)
+	}
+}
+
+func TestEigenSymKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1},
+		{1, 2},
+	})
+	vals, V, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Check A·v = λ·v for each column.
+	for k := 0; k < 2; k++ {
+		v := []float64{V.At(0, k), V.At(1, k)}
+		av, _ := a.MulVec(v)
+		for i := range v {
+			if !almostEq(av[i], vals[k]*v[i], 1e-9) {
+				t.Fatalf("A·v != λv for k=%d: %v vs λ=%g v=%v", k, av, vals[k], v)
+			}
+		}
+	}
+}
+
+func TestEigenSymRandomReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 8
+	// Build a random symmetric matrix.
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	vals, V, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eigenvalues must be sorted descending.
+	for i := 1; i < n; i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+	}
+	// V must be orthonormal: VᵀV = I.
+	vtv, _ := V.T().Mul(V)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(vtv.At(i, j), want, 1e-8) {
+				t.Fatalf("VᵀV not identity at (%d,%d): %g", i, j, vtv.At(i, j))
+			}
+		}
+	}
+	// Reconstruction A = V·diag(vals)·Vᵀ.
+	d := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, vals[i])
+	}
+	vd, _ := V.Mul(d)
+	rec, _ := vd.Mul(V.T())
+	for i := range a.Data {
+		if !almostEq(a.Data[i], rec.Data[i], 1e-8) {
+			t.Fatalf("reconstruction error at %d: %g vs %g", i, a.Data[i], rec.Data[i])
+		}
+	}
+}
+
+func TestEigenSymTraceInvariant(t *testing.T) {
+	// Property: sum of eigenvalues equals trace, for random symmetric inputs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(rng.Int31n(5))
+		a := NewMatrix(n, n)
+		var trace float64
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64() * 3
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+				if i == j {
+					trace += v
+				}
+			}
+		}
+		vals, _, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return almostEq(sum, trace, 1e-8*(1+math.Abs(trace)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotNormAXPY(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %g", Dot(a, b))
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Fatal("Norm2 wrong")
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	if y[0] != 3 || y[1] != 5 || y[2] != 7 {
+		t.Fatalf("AXPY = %v", y)
+	}
+	d := Sub(b, a)
+	if d[0] != 3 || d[1] != 3 || d[2] != 3 {
+		t.Fatalf("Sub = %v", d)
+	}
+}
+
+func TestAddScaleDiagonal(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{10, 20}, {30, 40}})
+	if err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 1) != 44 {
+		t.Fatalf("Add result %v", a.Data)
+	}
+	a.Scale(0.5)
+	if a.At(0, 0) != 5.5 {
+		t.Fatalf("Scale result %v", a.Data)
+	}
+	a.AddDiagonal(1)
+	if a.At(0, 0) != 6.5 || a.At(0, 1) != 11 {
+		t.Fatalf("AddDiagonal result %v", a.Data)
+	}
+	if err := a.Add(NewMatrix(1, 1)); err == nil {
+		t.Fatal("want dimension mismatch error")
+	}
+}
+
+func TestCovarianceIsPSDProperty(t *testing.T) {
+	// Property: a sample covariance matrix is positive semidefinite, i.e.
+	// regularized Cholesky always succeeds with a tiny ridge.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + int(rng.Int31n(10))
+		p := 2 + int(rng.Int31n(4))
+		X := NewMatrix(n, p)
+		for i := range X.Data {
+			X.Data[i] = rng.NormFloat64()
+		}
+		cov, err := Covariance(X, nil)
+		if err != nil {
+			return false
+		}
+		_, _, err = RegularizedCholesky(cov, 1e-10)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

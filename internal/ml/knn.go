@@ -1,0 +1,78 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// KNN is the k-nearest-neighbors classifier (Euclidean metric), the
+// classifier of Msgna et al. that the paper compares against (k = 1 with
+// PCA features).
+type KNN struct {
+	K  int
+	X  [][]float64
+	y  []int
+	p  int
+	nc int
+}
+
+// NewKNN returns a k-nearest-neighbors classifier.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return fmt.Sprintf("%d-NN", k.K) }
+
+// Fit implements Classifier (memorizes the training set).
+func (k *KNN) Fit(X [][]float64, y []int) error {
+	if k.K < 1 {
+		return fmt.Errorf("ml: kNN needs k >= 1, got %d", k.K)
+	}
+	nc, p, err := validateTraining(X, y)
+	if err != nil {
+		return err
+	}
+	if len(X) < k.K {
+		return fmt.Errorf("ml: kNN with k=%d needs at least k samples, got %d", k.K, len(X))
+	}
+	k.X = X
+	k.y = y
+	k.p = p
+	k.nc = nc
+	return nil
+}
+
+// Predict implements Classifier.
+func (k *KNN) Predict(x []float64) (int, error) {
+	if k.X == nil {
+		return 0, errors.New("ml: kNN used before Fit")
+	}
+	if len(x) != k.p {
+		return 0, errDim(len(x), k.p)
+	}
+	type nb struct {
+		d float64
+		y int
+	}
+	nbs := make([]nb, len(k.X))
+	for i, row := range k.X {
+		var d float64
+		for j := range row {
+			diff := row[j] - x[j]
+			d += diff * diff
+		}
+		nbs[i] = nb{d: d, y: k.y[i]}
+	}
+	sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+	votes := make([]int, k.nc)
+	for i := 0; i < k.K; i++ {
+		votes[nbs[i].y]++
+	}
+	best, bi := -1, 0
+	for c, v := range votes {
+		if v > best {
+			best, bi = v, c
+		}
+	}
+	return bi, nil
+}

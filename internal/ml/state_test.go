@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+func roundTripState(t *testing.T, clf Classifier, X [][]float64, y []int, probe []float64) {
+	t.Helper()
+	if err := clf.Fit(X, y); err != nil {
+		t.Fatalf("%s: %v", clf.Name(), err)
+	}
+	st, err := SnapshotClassifier(clf)
+	if err != nil {
+		t.Fatalf("%s: snapshot: %v", clf.Name(), err)
+	}
+	// Through gob, as core persistence does.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatalf("%s: gob encode: %v", clf.Name(), err)
+	}
+	var decoded ClassifierState
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatalf("%s: gob decode: %v", clf.Name(), err)
+	}
+	restored, err := RestoreClassifier(&decoded)
+	if err != nil {
+		t.Fatalf("%s: restore: %v", clf.Name(), err)
+	}
+	// Identical predictions over the training set and a probe point.
+	for i, x := range X {
+		a, err1 := clf.Predict(x)
+		b, err2 := restored.Predict(x)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("%s: prediction %d differs after restore: %d vs %d (%v/%v)",
+				clf.Name(), i, a, b, err1, err2)
+		}
+	}
+	pa, _ := clf.Predict(probe)
+	pb, _ := restored.Predict(probe)
+	if pa != pb {
+		t.Fatalf("%s: probe prediction differs: %d vs %d", clf.Name(), pa, pb)
+	}
+}
+
+func TestClassifierStateRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	X, y := gaussianBlobs(rng, 3, 40, 4, 5, 0.5)
+	probe := []float64{0.5, -1, 2, 0}
+	roundTripState(t, NewLDA(), X, y, probe)
+	roundTripState(t, NewQDA(), X, y, probe)
+	roundTripState(t, NewGaussianNB(), X, y, probe)
+	roundTripState(t, NewKNN(3), X, y, probe)
+	roundTripState(t, NewSVM(10, RBFKernel{Gamma: 0.5}), X, y, probe)
+	roundTripState(t, NewSVM(1, LinearKernel{}), X, y, probe)
+}
+
+func TestStateOfUntrainedFails(t *testing.T) {
+	if _, err := SnapshotClassifier(NewLDA()); err == nil {
+		t.Fatal("snapshot of untrained LDA should fail")
+	}
+	if _, err := SnapshotClassifier(NewQDA()); err == nil {
+		t.Fatal("snapshot of untrained QDA should fail")
+	}
+	if _, err := RestoreClassifier(nil); err == nil {
+		t.Fatal("restore of nil should fail")
+	}
+	if _, err := RestoreClassifier(&ClassifierState{}); err == nil {
+		t.Fatal("restore of empty state should fail")
+	}
+}

@@ -1,0 +1,438 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/avr"
+	"repro/internal/stats"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	return cfg
+}
+
+func TestDefaultConfigMatchesPaperSetup(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SampleRateHz != 2.5e9 || cfg.ClockHz != 16e6 {
+		t.Fatalf("rates %g/%g, want 2.5 GS/s and 16 MHz", cfg.SampleRateHz, cfg.ClockHz)
+	}
+	if cfg.TraceLen != 315 {
+		t.Fatalf("trace length %d, want 315", cfg.TraceLen)
+	}
+	if spc := cfg.SamplesPerCycle(); math.Abs(spc-156.25) > 1e-9 {
+		t.Fatalf("samples per cycle %g, want 156.25", spc)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{SampleRateHz: 1e9, ClockHz: 16e6, TraceLen: 4},
+		{SampleRateHz: 32e6, ClockHz: 16e6, TraceLen: 315}, // 2 samples/cycle
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %+v should fail validation", cfg)
+		}
+		if _, err := NewModel(cfg); err == nil {
+			t.Fatalf("NewModel(%+v) should fail", cfg)
+		}
+	}
+}
+
+func synthOne(t *testing.T, seed int64, target avr.Instruction, dev *Device, prog *ProgramEnv) []float64 {
+	t.Helper()
+	model, err := NewModel(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mach := randomizedMachine(rng)
+	seg := avr.Segment{
+		Target: target,
+		Prev:   avr.Instruction{Class: avr.OpNOP},
+		Next:   avr.Instruction{Class: avr.OpNOP},
+	}
+	tr, err := model.Synthesize(rng, mach, TraceContext{Segment: seg, Device: dev, Program: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSynthesizeShapeAndDeterminism(t *testing.T) {
+	cfg := testConfig()
+	dev := NewDevice(cfg, 0)
+	prog := NeutralProgramEnv(0)
+	target := avr.Instruction{Class: avr.OpADD, Rd: 1, Rr: 2}
+	a := synthOne(t, 7, target, dev, prog)
+	b := synthOne(t, 7, target, dev, prog)
+	if len(a) != cfg.TraceLen {
+		t.Fatalf("trace length %d, want %d", len(a), cfg.TraceLen)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce identical traces")
+		}
+	}
+	c := synthOne(t, 8, target, dev, prog)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ (noise)")
+	}
+}
+
+func TestDifferentGroupsDifferMoreThanSameGroup(t *testing.T) {
+	// The mean trace of ADD vs AND (same group) should be closer than
+	// ADD vs SEC (different group): group signatures dominate.
+	cfg := testConfig()
+	cfg.NoiseStd = 0.01
+	model, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewDevice(cfg, 0)
+	prog := NeutralProgramEnv(0)
+	mean := func(target avr.Instruction) []float64 {
+		rng := rand.New(rand.NewSource(11))
+		acc := make([]float64, cfg.TraceLen)
+		const n = 40
+		for i := 0; i < n; i++ {
+			mach := randomizedMachine(rng)
+			seg := avr.Segment{Target: target, Prev: avr.Instruction{Class: avr.OpNOP}, Next: avr.Instruction{Class: avr.OpNOP}}
+			tr, err := model.Synthesize(rng, mach, TraceContext{Segment: seg, Device: dev, Program: prog})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range acc {
+				acc[j] += tr[j] / n
+			}
+		}
+		return acc
+	}
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	mAdd := mean(avr.Instruction{Class: avr.OpADD, Rd: 3, Rr: 4})
+	mAnd := mean(avr.Instruction{Class: avr.OpAND, Rd: 3, Rr: 4})
+	mSec := mean(avr.Instruction{Class: avr.OpSEC})
+	within := dist(mAdd, mAnd)
+	between := dist(mAdd, mSec)
+	if between <= within {
+		t.Fatalf("cross-group distance (%g) should exceed within-group (%g)", between, within)
+	}
+	if within == 0 {
+		t.Fatal("same-group instructions must still differ")
+	}
+}
+
+func TestRegisterAddressChangesTrace(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseStd = 0
+	model, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewDevice(cfg, 0)
+	prog := NeutralProgramEnv(0)
+	trace := func(rd, rr uint8) []float64 {
+		rng := rand.New(rand.NewSource(3))
+		mach := avr.NewMachine(nil) // fixed state: isolate the address effect
+		seg := avr.Segment{
+			Target: avr.Instruction{Class: avr.OpADD, Rd: rd, Rr: rr},
+			Prev:   avr.Instruction{Class: avr.OpNOP},
+			Next:   avr.Instruction{Class: avr.OpNOP},
+		}
+		tr, err := model.Synthesize(rng, mach, TraceContext{Segment: seg, Device: dev, Program: prog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a := trace(0, 0)
+	b := trace(31, 0)
+	var diff float64
+	for i := range a {
+		diff += math.Abs(a[i] - b[i])
+	}
+	if diff < 1 {
+		t.Fatalf("Rd=0 vs Rd=31 traces nearly identical (Σ|Δ|=%g); register leakage missing", diff)
+	}
+}
+
+func TestProgramShiftMovesTrace(t *testing.T) {
+	cfg := testConfig()
+	dev := NewDevice(cfg, 0)
+	target := avr.Instruction{Class: avr.OpAND, Rd: 1, Rr: 2}
+	p0 := NewProgramEnv(cfg, 1, 0)
+	p1 := NewProgramEnv(cfg, 1, 1)
+	a := synthOne(t, 5, target, dev, p0)
+	b := synthOne(t, 5, target, dev, p1)
+	ma := stats.Mean(a)
+	mb := stats.Mean(b)
+	if math.Abs(ma-mb) < 1e-6 {
+		t.Fatalf("program environments should shift the trace mean: %g vs %g", ma, mb)
+	}
+}
+
+func TestDeviceZeroIsGolden(t *testing.T) {
+	cfg := testConfig()
+	d0 := NewDevice(cfg, 0)
+	if d0.Gain() != 1 || d0.Offset() != 0 {
+		t.Fatalf("device 0 must be neutral: gain=%g offset=%g", d0.Gain(), d0.Offset())
+	}
+	if d0.mismatch(123, 4) != 1 {
+		t.Fatal("device 0 must have no mismatch")
+	}
+	d1 := NewDevice(cfg, 1)
+	if d1.Gain() == 1 && d1.Offset() == 0 {
+		t.Fatal("device 1 should differ from golden")
+	}
+	// Determinism.
+	d1b := NewDevice(cfg, 1)
+	if d1.Gain() != d1b.Gain() || d1.Offset() != d1b.Offset() {
+		t.Fatal("device derivation must be deterministic")
+	}
+	if d1.mismatch(9, 9) != d1b.mismatch(9, 9) {
+		t.Fatal("device mismatch must be deterministic")
+	}
+}
+
+func TestProgramEnvDeterminism(t *testing.T) {
+	cfg := testConfig()
+	a := NewProgramEnv(cfg, 42, 3)
+	b := NewProgramEnv(cfg, 42, 3)
+	if a.Gain() != b.Gain() || a.Offset() != b.Offset() {
+		t.Fatal("program env derivation must be deterministic")
+	}
+	c := NewProgramEnv(cfg, 42, 4)
+	if a.Gain() == c.Gain() && a.Offset() == c.Offset() {
+		t.Fatal("different program IDs should give different environments")
+	}
+	n := NeutralProgramEnv(7)
+	if n.Gain() != 1 || n.Offset() != 0 {
+		t.Fatal("neutral env must not shift")
+	}
+}
+
+func TestCollectClassesDataset(t *testing.T) {
+	camp, err := NewCampaign(testConfig(), 0, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []avr.Class{avr.OpADC, avr.OpAND}
+	ds, err := camp.CollectClasses(classes, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2*3*5 {
+		t.Fatalf("dataset size %d, want 30", ds.Len())
+	}
+	if len(ds.ClassNames) != 2 {
+		t.Fatalf("class names %v", ds.ClassNames)
+	}
+	counts := map[int]int{}
+	progs := map[int]bool{}
+	for i := range ds.Traces {
+		if len(ds.Traces[i]) != 315 {
+			t.Fatalf("trace %d has %d samples", i, len(ds.Traces[i]))
+		}
+		counts[ds.Labels[i]]++
+		progs[ds.Programs[i]] = true
+	}
+	if counts[0] != 15 || counts[1] != 15 {
+		t.Fatalf("label balance %v", counts)
+	}
+	if len(progs) != 3 {
+		t.Fatalf("program IDs %v, want 3 distinct", progs)
+	}
+	if _, err := camp.CollectClasses(nil, 1, 1); err == nil {
+		t.Fatal("want error for empty class list")
+	}
+}
+
+func TestCollectGroupsDataset(t *testing.T) {
+	camp, err := NewCampaign(testConfig(), 0, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := camp.CollectGroups(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 8*2*4 {
+		t.Fatalf("dataset size %d, want 64", ds.Len())
+	}
+	if len(ds.ClassNames) != 8 {
+		t.Fatalf("group dataset needs 8 labels, got %d", len(ds.ClassNames))
+	}
+	for _, l := range ds.Labels {
+		if l < 0 || l > 7 {
+			t.Fatalf("label %d out of group range", l)
+		}
+	}
+}
+
+func TestCollectRegistersDataset(t *testing.T) {
+	camp, err := NewCampaign(testConfig(), 0, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := camp.CollectRegisters(true, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 32*1*2 {
+		t.Fatalf("dataset size %d, want 64", ds.Len())
+	}
+	if ds.ClassNames[5] != "Rd5" {
+		t.Fatalf("class name %q", ds.ClassNames[5])
+	}
+	ds2, err := camp.CollectRegisters(false, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.ClassNames[31] != "Rr31" {
+		t.Fatalf("class name %q", ds2.ClassNames[31])
+	}
+}
+
+func TestSplitByProgram(t *testing.T) {
+	ds := &Dataset{ClassNames: []string{"a"}}
+	for p := 0; p < 5; p++ {
+		for i := 0; i < 3; i++ {
+			ds.Append([]float64{float64(p)}, 0, p)
+		}
+	}
+	train, test := ds.SplitByProgram(func(p int) bool { return p < 4 })
+	if train.Len() != 12 || test.Len() != 3 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	for _, p := range test.Programs {
+		if p != 4 {
+			t.Fatalf("held-out program %d", p)
+		}
+	}
+}
+
+func TestSplitRandom(t *testing.T) {
+	ds := &Dataset{}
+	for i := 0; i < 100; i++ {
+		ds.Append([]float64{float64(i)}, i%2, 0)
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, test := ds.SplitRandom(rng, 0.8)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	seen := map[float64]bool{}
+	for _, tr := range train.Traces {
+		seen[tr[0]] = true
+	}
+	for _, tr := range test.Traces {
+		if seen[tr[0]] {
+			t.Fatal("train/test overlap")
+		}
+	}
+}
+
+func TestAcquireSegmentsStream(t *testing.T) {
+	camp, err := NewCampaign(testConfig(), 0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := avr.AssembleProgram("LDI r16, 0x5A\nLDI r17, 0x3C\nEOR r16, r17\nNOP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	traces, err := camp.AcquireSegments(rng, NeutralProgramEnv(0), stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 {
+		t.Fatalf("got %d traces, want 4", len(traces))
+	}
+	for _, tr := range traces {
+		if len(tr) != 315 {
+			t.Fatalf("trace length %d", len(tr))
+		}
+	}
+}
+
+func TestReferenceSubtractionRemovesCommonMode(t *testing.T) {
+	// A NOP target with no program shift should, after reference
+	// subtraction, be mostly noise: the clock feedthrough cancels.
+	cfg := testConfig()
+	camp, err := NewCampaign(cfg, 0, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	seg := avr.Segment{
+		Target: avr.Instruction{Class: avr.OpNOP},
+		Prev:   avr.Instruction{Class: avr.OpNOP},
+		Next:   avr.Instruction{Class: avr.OpNOP},
+	}
+	tr, err := camp.acquireSegment(rng, seg, NeutralProgramEnv(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual should be far below the clock amplitude (~1.0): bounded by a
+	// few noise standard deviations.
+	maxAbs := 0.0
+	for _, v := range tr {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 10*cfg.NoiseStd {
+		t.Fatalf("NOP residual after reference subtraction too large: %g", maxAbs)
+	}
+}
+
+func TestTraceFiniteProperty(t *testing.T) {
+	cfg := testConfig()
+	model, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, devID uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := NewDevice(cfg, int(devID%6))
+		prog := NewProgramEnv(cfg, uint64(seed), 0)
+		mach := randomizedMachine(rng)
+		seg := avr.NewSegment(rng, avr.RandomOperands(rng, avr.RandomClass(rng)))
+		tr, err := model.Synthesize(rng, mach, TraceContext{Segment: seg, Device: dev, Program: prog})
+		if err != nil {
+			return false
+		}
+		for _, v := range tr {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean = %g", Mean(xs))
+	}
+	// Sum of squared deviations = 32; unbiased variance = 32/7.
+	if math.Abs(Variance(xs)-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %g", Variance(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+}
+
+func TestEstimateGaussian(t *testing.T) {
+	if _, err := EstimateGaussian([]float64{1}); err == nil {
+		t.Fatal("want ErrTooFewSamples")
+	}
+	g, err := EstimateGaussian([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Mean != 2 || math.Abs(g.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("g = %+v", g)
+	}
+}
+
+func TestKLGaussianIdentical(t *testing.T) {
+	g := Gaussian{Mean: 1.5, StdDev: 0.3}
+	if d := KLGaussian(g, g); math.Abs(d) > 1e-12 {
+		t.Fatalf("KL(P‖P) = %g, want 0", d)
+	}
+}
+
+func TestKLGaussianKnownValue(t *testing.T) {
+	// P = N(0,1), Q = N(1,1): KL = 1/2 (mean shift of 1 with unit variance).
+	p := Gaussian{Mean: 0, StdDev: 1}
+	q := Gaussian{Mean: 1, StdDev: 1}
+	if d := KLGaussian(p, q); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("KL = %g, want 0.5", d)
+	}
+}
+
+func TestKLGaussianAsymmetry(t *testing.T) {
+	p := Gaussian{Mean: 0, StdDev: 1}
+	q := Gaussian{Mean: 0, StdDev: 3}
+	if KLGaussian(p, q) == KLGaussian(q, p) {
+		t.Fatal("KL should be asymmetric for different variances")
+	}
+	s := SymmetricKLGaussian(p, q)
+	if math.Abs(s-SymmetricKLGaussian(q, p)) > 1e-12 {
+		t.Fatal("symmetric KL must be symmetric")
+	}
+}
+
+func TestKLNonNegativeProperty(t *testing.T) {
+	f := func(m1, m2 float64, s1, s2 uint8) bool {
+		p := Gaussian{Mean: math.Mod(m1, 100), StdDev: 0.01 + float64(s1)/16}
+		q := Gaussian{Mean: math.Mod(m2, 100), StdDev: 0.01 + float64(s2)/16}
+		return KLGaussian(p, q) >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKLIncreasesWithMeanSeparationProperty(t *testing.T) {
+	// With equal variances, KL is monotone in |μp−μq|.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := 0.5 + rng.Float64()
+		d1 := rng.Float64() * 3
+		d2 := d1 + 0.1 + rng.Float64()
+		k1 := KLGaussian(Gaussian{0, s}, Gaussian{d1, s})
+		k2 := KLGaussian(Gaussian{0, s}, Gaussian{d2, s})
+		return k2 > k1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKLGaussianFromSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	near := make([]float64, 500)
+	far := make([]float64, 500)
+	same := make([]float64, 500)
+	for i := range near {
+		near[i] = rng.NormFloat64()
+		same[i] = rng.NormFloat64()
+		far[i] = rng.NormFloat64() + 5
+	}
+	dSame, err := KLGaussianFromSamples(near, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFar, err := KLGaussianFromSamples(near, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dFar < 10*dSame {
+		t.Fatalf("separated classes should have much larger KL: same=%g far=%g", dSame, dFar)
+	}
+	if _, err := KLGaussianFromSamples([]float64{1}, near); err == nil {
+		t.Fatal("want error for too few samples")
+	}
+}
+
+func TestZScoreNormalizer(t *testing.T) {
+	X := [][]float64{
+		{1, 10},
+		{2, 20},
+		{3, 30},
+	}
+	var z ZScoreNormalizer
+	if _, err := z.Apply([]float64{1, 2}); err == nil {
+		t.Fatal("want error before Fit")
+	}
+	if err := z.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	out, err := z.ApplyAll(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns must have mean 0 and unit std after standardization.
+	for j := 0; j < 2; j++ {
+		col := []float64{out[0][j], out[1][j], out[2][j]}
+		if math.Abs(Mean(col)) > 1e-12 {
+			t.Fatalf("col %d mean %g", j, Mean(col))
+		}
+		if math.Abs(StdDev(col)-1) > 1e-12 {
+			t.Fatalf("col %d std %g", j, StdDev(col))
+		}
+	}
+	if _, err := z.Apply([]float64{1}); err == nil {
+		t.Fatal("want dimension error")
+	}
+	if err := z.Fit([][]float64{{1}}); err == nil {
+		t.Fatal("want too-few-samples error")
+	}
+	if err := z.Fit([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("want ragged-row error")
+	}
+}
+
+func TestNormalizeTraceRemovesOffsetAndGain(t *testing.T) {
+	base := []float64{0.1, 0.9, -0.4, 0.3, 0.6, -0.2}
+	shifted := make([]float64, len(base))
+	for i, v := range base {
+		shifted[i] = 1.7*v + 42 // gain + DC offset (the covariate shift model)
+	}
+	a := NormalizeTrace(base)
+	b := NormalizeTrace(shifted)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("normalization failed to cancel shift at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNormalizeTraceProperty(t *testing.T) {
+	// Output always has (population) mean ~0 and std ~1 for non-constant input.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 10+int(rng.Int31n(50)))
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+		}
+		y := NormalizeTrace(x)
+		m := Mean(y)
+		var ss float64
+		for _, v := range y {
+			ss += (v - m) * (v - m)
+		}
+		sd := math.Sqrt(ss / float64(len(y)))
+		return math.Abs(m) < 1e-9 && math.Abs(sd-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeTraceDegenerate(t *testing.T) {
+	if out := NormalizeTrace(nil); len(out) != 0 {
+		t.Fatal("empty input should yield empty output")
+	}
+	out := NormalizeTrace([]float64{5, 5, 5})
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("constant trace normalized to %v", out)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	acc, err := Accuracy([]int{1, 2, 3, 4}, []int{1, 2, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 0.75 {
+		t.Fatalf("accuracy = %g", acc)
+	}
+	if _, err := Accuracy([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Fatal("want empty error")
+	}
+}

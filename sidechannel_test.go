@@ -1,0 +1,111 @@
+package sidechannel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFacadeAssembleRoundTrip(t *testing.T) {
+	in, err := Assemble("EOR r16, r17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.String() != "EOR r16, r17" {
+		t.Fatalf("round trip %q", in.String())
+	}
+	prog, err := AssembleProgram("MOV r18, r17\nEOR r16, r17")
+	if err != nil || len(prog) != 2 {
+		t.Fatalf("program: %v %v", prog, err)
+	}
+}
+
+func TestFacadeClassEnumeration(t *testing.T) {
+	if len(AllClasses()) != 112 {
+		t.Fatalf("AllClasses() = %d, want 112", len(AllClasses()))
+	}
+	total := 0
+	for _, g := range []Group{Group1, Group2, Group3, Group4, Group5, Group6, Group7, Group8} {
+		total += len(ClassesInGroup(g))
+	}
+	if total != 112 {
+		t.Fatalf("groups cover %d classes", total)
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Classifier != QDA {
+		t.Fatalf("default classifier %q, want QDA", cfg.Classifier)
+	}
+	pcfg := DefaultPowerConfig()
+	if pcfg.TraceLen != 315 {
+		t.Fatalf("trace length %d", pcfg.TraceLen)
+	}
+	if !CSAPipeline().PerTraceNorm {
+		t.Fatal("CSA pipeline must normalize per trace")
+	}
+	if BasePipeline().PerTraceNorm {
+		t.Fatal("base pipeline must not normalize per trace")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is expensive")
+	}
+	cfg := DefaultConfig()
+	cfg.Programs = 4
+	cfg.TracesPerProgram = 20
+	cfg.RegisterPrograms = 0
+	classes := []Class{mustClass(t, "ADC"), mustClass(t, "AND")}
+	d, err := TrainSubset(cfg, classes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := NewCampaign(cfg.Power, 0, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	prog := NewProgramEnv(cfg.Power, 999, 7)
+	targets := make([]Instruction, 20)
+	for i := range targets {
+		targets[i] = RandomInstruction(rng, classes[i%2])
+	}
+	traces, err := camp.AcquireTemplated(rng, prog, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs, err := d.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	for i, dec := range decs {
+		if dec.Class == targets[i].Class {
+			hit++
+		}
+	}
+	if hit < 16 {
+		t.Fatalf("facade end-to-end accuracy %d/20", hit)
+	}
+	listing := Listing(decs)
+	if !strings.Contains(listing, "\n") {
+		t.Fatal("listing should be multi-line")
+	}
+}
+
+func mustClass(t *testing.T, name string) Class {
+	t.Helper()
+	for _, c := range AllClasses() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	t.Fatalf("class %q not found", name)
+	return 0
+}

@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the CWT-heavy suites ~10x; raise the per-package
+# timeout accordingly.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench Pipeline -benchmem .
+
+# The full gate: what CI runs and what a PR must pass.
+verify: vet build test race

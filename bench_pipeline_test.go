@@ -1,0 +1,185 @@
+package sidechannel
+
+// Allocation and throughput benchmarks for the concurrency + redundancy work:
+// the CWT hot path, the feature pipeline, and serial-vs-parallel fits. Run
+//
+//	go test -bench=Pipeline -benchmem -run=^$
+//
+// and compare against BENCH_pipeline.json (allocs/op must not regress; on a
+// multi-core machine the *Parallel variants should scale with the cores).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/features"
+	"repro/internal/parallel"
+	"repro/internal/power"
+)
+
+const benchTraceLen = 315 // the paper's fetch+execute window
+
+func benchTraces(n, length int) [][]float64 {
+	rng := rand.New(rand.NewSource(99))
+	out := make([][]float64, n)
+	for i := range out {
+		tr := make([]float64, length)
+		for t := range tr {
+			tr[t] = math.Sin(0.12*float64(t)) + rng.NormFloat64()*0.1
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+func benchCWT(b *testing.B) *dsp.CWT {
+	c, err := dsp.NewCWT(50, 2, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkPipelineCWTTransform(b *testing.B) {
+	c := benchCWT(b)
+	tr := benchTraces(1, benchTraceLen)[0]
+	c.TransformFlat(tr) // warm the plan cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.TransformFlat(tr)
+	}
+}
+
+func BenchmarkPipelineCWTTransformBatch(b *testing.B) {
+	c := benchCWT(b)
+	traces := benchTraces(32, benchTraceLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.TransformFlatBatch(traces); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(traces))*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+}
+
+// benchPipeline fits a small 2-class pipeline once for the Extract benchmarks.
+func benchPipeline(b *testing.B) (*features.Pipeline, [][]float64) {
+	traces := benchTraces(48, benchTraceLen)
+	labels := make([]int, len(traces))
+	programs := make([]int, len(traces))
+	for i := range traces {
+		labels[i] = i % 2
+		programs[i] = (i / 2) % 3
+		if labels[i] == 1 {
+			for t := range traces[i] {
+				traces[i][t] += math.Sin(0.31 * float64(t))
+			}
+		}
+	}
+	cfg := features.CSAPipelineConfig()
+	cfg.NumComponents = 8
+	pl, err := features.FitPipeline(traces, labels, programs, 2, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pl, traces
+}
+
+func BenchmarkPipelineExtract(b *testing.B) {
+	pl, traces := benchPipeline(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Extract(traces[i%len(traces)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineExtractFromScalogram(b *testing.B) {
+	pl, traces := benchPipeline(b)
+	flat, err := pl.RawScalogram(traces[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.ExtractFromScalogram(flat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFit runs a full FitPipeline at the given worker count; the
+// Serial/Parallel pair quantifies the multi-core speedup (identical results
+// by construction — see the equivalence tests).
+func benchFit(b *testing.B, workers int) {
+	traces := benchTraces(40, benchTraceLen)
+	labels := make([]int, len(traces))
+	programs := make([]int, len(traces))
+	for i := range traces {
+		labels[i] = i % 2
+		programs[i] = (i / 2) % 3
+	}
+	cfg := features.CSAPipelineConfig()
+	cfg.NumComponents = 8
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := features.FitPipeline(traces, labels, programs, 2, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(traces))*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+}
+
+func BenchmarkPipelineFitSerial(b *testing.B)   { benchFit(b, 1) }
+func BenchmarkPipelineFitParallel(b *testing.B) { benchFit(b, 0) }
+
+// benchDisassemble measures end-to-end trace→instruction throughput.
+func benchDisassemble(b *testing.B, workers int) {
+	cfg := core.DefaultTrainerConfig()
+	cfg.Programs = 3
+	cfg.TracesPerProgram = 10
+	cfg.RegisterPrograms = 0
+	cfg.RegisterTracesPerProgram = 0
+	d, err := core.TrainSubset(cfg, AllClasses()[:2], false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	camp, err := power.NewCampaign(cfg.Power, 0, 77)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	prog := power.NewProgramEnv(cfg.Power, 77, 1)
+	stream := make([]Instruction, 24)
+	for i := range stream {
+		stream[i] = RandomInstruction(rng, AllClasses()[i%2])
+	}
+	traces, err := camp.AcquireSegments(rng, prog, stream)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Disassemble(traces); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(traces))*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
+}
+
+func BenchmarkPipelineDisassembleSerial(b *testing.B)   { benchDisassemble(b, 1) }
+func BenchmarkPipelineDisassembleParallel(b *testing.B) { benchDisassemble(b, 0) }

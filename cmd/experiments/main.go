@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -35,8 +36,10 @@ func main() {
 		paper    = flag.Bool("paper", false, "use the paper's acquisition scale (slow)")
 		pcsFlag  = flag.String("pcs", "1,2,3,5,10,20,43", "principal-component sweep for fig5a/fig5b")
 		varsFlag = flag.String("vars", "3,5,7,9", "variable counts for fig6")
+		workers  = flag.Int("workers", 0, "worker goroutines for the feature/training pipeline (0 = all CPUs)")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	sc := experiments.DefaultScale()
 	if *paper {

@@ -10,7 +10,7 @@
 //	scdis detect                     run the §5.7 malware-detection case study
 //
 // Flags for demo/detect: -programs, -traces, -seed scale the simulated
-// profiling campaign.
+// profiling campaign; -workers N bounds the worker pool (0 = all CPUs).
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"repro/internal/avr"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 	"repro/internal/power"
 )
 
@@ -103,21 +104,23 @@ func runDecode(args []string) error {
 	return nil
 }
 
-func campaignFlags(fs *flag.FlagSet) (*int, *int, *uint64) {
+func campaignFlags(fs *flag.FlagSet) (*int, *int, *uint64, *int) {
 	programs := fs.Int("programs", 4, "profiling program files per class")
 	traces := fs.Int("traces", 20, "traces per program file")
 	seed := fs.Uint64("seed", 1, "campaign seed")
-	return programs, traces, seed
+	workers := fs.Int("workers", 0, "worker goroutines for training/disassembly (0 = all CPUs)")
+	return programs, traces, seed, workers
 }
 
 func runDemo(args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
-	programs, traces, seed := campaignFlags(fs)
+	programs, traces, seed, workers := campaignFlags(fs)
 	saveTo := fs.String("save", "", "write the trained templates to this file")
 	loadFrom := fs.String("templates", "", "load templates from this file instead of training")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetWorkers(*workers)
 	cfg := core.DefaultTrainerConfig()
 	cfg.Programs = *programs
 	cfg.TracesPerProgram = *traces
@@ -199,10 +202,11 @@ func runDemo(args []string) error {
 
 func runDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
-	programs, traces, seed := campaignFlags(fs)
+	programs, traces, seed, workers := campaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetWorkers(*workers)
 	sc := experiments.DefaultScale()
 	sc.Programs = *programs
 	sc.TracesPerProgram = *traces

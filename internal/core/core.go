@@ -15,10 +15,12 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/avr"
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 )
 
 // ClassifierKind selects the classification algorithm at every level.
@@ -130,6 +132,10 @@ type groupLevel struct {
 }
 
 // Disassembler is a fully trained hierarchical template set.
+//
+// Concurrency: a trained Disassembler is immutable, so Classify and
+// Disassemble are safe for concurrent use; Disassemble additionally fans the
+// per-trace classification out over the parallel.Workers() pool.
 type Disassembler struct {
 	group      groupLevel
 	instr      [avr.NumGroups]groupLevel
@@ -142,12 +148,26 @@ type Disassembler struct {
 // ErrNotTrained is returned when a Disassembler lacks a required level.
 var ErrNotTrained = errors.New("core: disassembler not trained")
 
-// Classify decodes a single power trace into an instruction.
+// Classify decodes a single power trace into an instruction. The trace's
+// CWT scalogram is computed exactly once and shared by every hierarchy level
+// (group, instruction, Rd, Rr) through features.ExtractFromScalogram — the
+// levels differ only in which time–frequency points they read and how they
+// project them.
 func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
 	if d.group.pipe == nil || d.group.clf == nil {
 		return Decoded{}, ErrNotTrained
 	}
-	gf, err := d.group.pipe.Extract(trace)
+	flat, err := d.group.pipe.RawScalogram(trace)
+	if err != nil {
+		return Decoded{}, fmt.Errorf("core: group features: %w", err)
+	}
+	return d.classifyScalogram(flat)
+}
+
+// classifyScalogram runs the hierarchical classification against a shared
+// raw scalogram (see features.Pipeline.RawScalogram).
+func (d *Disassembler) classifyScalogram(flat []float64) (Decoded, error) {
+	gf, err := d.group.pipe.ExtractFromScalogram(flat)
 	if err != nil {
 		return Decoded{}, fmt.Errorf("core: group features: %w", err)
 	}
@@ -162,7 +182,7 @@ func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
 	if lvl.pipe == nil || lvl.clf == nil {
 		return Decoded{}, fmt.Errorf("core: no instruction templates for group %d: %w", gi+1, ErrNotTrained)
 	}
-	inf, err := lvl.pipe.Extract(trace)
+	inf, err := lvl.pipe.ExtractFromScalogram(flat)
 	if err != nil {
 		return Decoded{}, fmt.Errorf("core: instruction features: %w", err)
 	}
@@ -180,7 +200,7 @@ func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
 		sp := avr.SpecOf(cls)
 		needRd, needRr := operandRegisters(sp.Operands, cls)
 		if needRd {
-			f, err := d.rd.pipe.Extract(trace)
+			f, err := d.rd.pipe.ExtractFromScalogram(flat)
 			if err != nil {
 				return Decoded{}, fmt.Errorf("core: Rd features: %w", err)
 			}
@@ -191,7 +211,7 @@ func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
 			out.Rd, out.HasRd = uint8(r), true
 		}
 		if needRr {
-			f, err := d.rr.pipe.Extract(trace)
+			f, err := d.rr.pipe.ExtractFromScalogram(flat)
 			if err != nil {
 				return Decoded{}, fmt.Errorf("core: Rr features: %w", err)
 			}
@@ -226,15 +246,30 @@ func operandRegisters(k avr.OperandKind, c avr.Class) (rd, rr bool) {
 }
 
 // Disassemble decodes a stream of traces (one per executed instruction)
-// into a listing.
+// into a listing. The per-trace classifications run on the
+// parallel.Workers() pool; the output (and, on failure, the decoded prefix
+// plus the lowest-index error) is identical to classifying serially.
 func (d *Disassembler) Disassemble(traces [][]float64) ([]Decoded, error) {
-	out := make([]Decoded, 0, len(traces))
-	for i, tr := range traces {
-		dec, err := d.Classify(tr)
+	out := make([]Decoded, len(traces))
+	var (
+		mu       sync.Mutex
+		failIdx  = len(traces)
+		failWith error
+	)
+	parallel.For(len(traces), func(i int) {
+		dec, err := d.Classify(traces[i])
 		if err != nil {
-			return out, fmt.Errorf("core: trace %d: %w", i, err)
+			mu.Lock()
+			if i < failIdx {
+				failIdx, failWith = i, err
+			}
+			mu.Unlock()
+			return
 		}
-		out = append(out, dec)
+		out[i] = dec
+	})
+	if failWith != nil {
+		return out[:failIdx], fmt.Errorf("core: trace %d: %w", failIdx, failWith)
 	}
 	return out, nil
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/avr"
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 	"repro/internal/power"
 )
 
@@ -73,6 +75,13 @@ type TrainReport struct {
 
 // Train runs the full acquisition + template-building flow of Fig. 1 on the
 // golden device and returns a ready Disassembler.
+//
+// The eleven template-building jobs (group level, 8 instruction levels, Rd,
+// Rr) are independent — every Campaign.Collect* call derives its randomness
+// from the campaign seed alone, never from call order — so they run
+// concurrently on the parallel.Workers() pool and the resulting templates
+// are identical to a serial run. On failure the lowest-ordered job's error
+// is reported, matching the serial flow.
 func Train(cfg TrainerConfig) (*Disassembler, *TrainReport, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
@@ -84,53 +93,64 @@ func Train(cfg TrainerConfig) (*Disassembler, *TrainReport, error) {
 	d := &Disassembler{}
 	rep := &TrainReport{}
 
+	var jobs []func() error
 	// Level 1: the 8-group classifier.
-	groupDS, err := camp.CollectGroups(cfg.Programs, cfg.TracesPerProgram)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: group acquisition: %w", err)
-	}
-	d.group, rep.GroupTrainAccuracy, err = fitLevel(groupDS, avr.NumGroups, cfg)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: group level: %w", err)
-	}
-	rep.GroupPoints = d.group.pipe.NumPoints()
-
+	jobs = append(jobs, func() error {
+		groupDS, err := camp.CollectGroups(cfg.Programs, cfg.TracesPerProgram)
+		if err != nil {
+			return fmt.Errorf("core: group acquisition: %w", err)
+		}
+		if d.group, rep.GroupTrainAccuracy, err = fitLevel(groupDS, avr.NumGroups, cfg); err != nil {
+			return fmt.Errorf("core: group level: %w", err)
+		}
+		rep.GroupPoints = d.group.pipe.NumPoints()
+		return nil
+	})
 	// Level 2: per-group instruction classifiers.
 	for g := avr.Group1; g <= avr.Group8; g++ {
-		classes := avr.ClassesInGroup(g)
-		ds, err := camp.CollectClasses(classes, cfg.Programs, cfg.TracesPerProgram)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: group %d acquisition: %w", g, err)
-		}
-		gi := int(g - avr.Group1)
-		d.instr[gi], rep.InstrTrainAccuracy[gi], err = fitLevel(ds, len(classes), cfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: group %d level: %w", g, err)
-		}
-		d.instrClass[gi] = classes
-		rep.InstrPoints[gi] = d.instr[gi].pipe.NumPoints()
+		g := g
+		jobs = append(jobs, func() error {
+			classes := avr.ClassesInGroup(g)
+			ds, err := camp.CollectClasses(classes, cfg.Programs, cfg.TracesPerProgram)
+			if err != nil {
+				return fmt.Errorf("core: group %d acquisition: %w", g, err)
+			}
+			gi := int(g - avr.Group1)
+			if d.instr[gi], rep.InstrTrainAccuracy[gi], err = fitLevel(ds, len(classes), cfg); err != nil {
+				return fmt.Errorf("core: group %d level: %w", g, err)
+			}
+			d.instrClass[gi] = classes
+			rep.InstrPoints[gi] = d.instr[gi].pipe.NumPoints()
+			return nil
+		})
 	}
-
 	// Level 3: register classifiers.
-	if cfg.RegisterPrograms > 0 && cfg.RegisterTracesPerProgram > 0 {
-		rdDS, err := camp.CollectRegisters(true, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: Rd acquisition: %w", err)
-		}
-		d.rd, rep.RdTrainAccuracy, err = fitLevel(rdDS, 32, cfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: Rd level: %w", err)
-		}
-		rrDS, err := camp.CollectRegisters(false, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: Rr acquisition: %w", err)
-		}
-		d.rr, rep.RrTrainAccuracy, err = fitLevel(rrDS, 32, cfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: Rr level: %w", err)
-		}
-		d.haveRegs = true
+	withRegs := cfg.RegisterPrograms > 0 && cfg.RegisterTracesPerProgram > 0
+	if withRegs {
+		jobs = append(jobs, func() error {
+			rdDS, err := camp.CollectRegisters(true, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
+			if err != nil {
+				return fmt.Errorf("core: Rd acquisition: %w", err)
+			}
+			if d.rd, rep.RdTrainAccuracy, err = fitLevel(rdDS, 32, cfg); err != nil {
+				return fmt.Errorf("core: Rd level: %w", err)
+			}
+			return nil
+		}, func() error {
+			rrDS, err := camp.CollectRegisters(false, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
+			if err != nil {
+				return fmt.Errorf("core: Rr acquisition: %w", err)
+			}
+			if d.rr, rep.RrTrainAccuracy, err = fitLevel(rrDS, 32, cfg); err != nil {
+				return fmt.Errorf("core: Rr level: %w", err)
+			}
+			return nil
+		})
 	}
+	if err := parallel.ForErr(len(jobs), func(i int) error { return jobs[i]() }); err != nil {
+		return nil, nil, err
+	}
+	d.haveRegs = withRegs
 	return d, rep, nil
 }
 
@@ -193,57 +213,71 @@ func TrainSubset(cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*D
 	}
 	d := &Disassembler{}
 
+	var jobs []func() error
 	// Group level trained on the full 8-way task so group routing works.
-	groupDS, err := camp.CollectGroups(cfg.Programs, cfg.TracesPerProgram)
-	if err != nil {
-		return nil, err
-	}
-	d.group, _, err = fitLevel(groupDS, avr.NumGroups, cfg)
-	if err != nil {
-		return nil, err
-	}
+	jobs = append(jobs, func() error {
+		groupDS, err := camp.CollectGroups(cfg.Programs, cfg.TracesPerProgram)
+		if err != nil {
+			return err
+		}
+		d.group, _, err = fitLevel(groupDS, avr.NumGroups, cfg)
+		return err
+	})
 
-	// Instruction level only for the groups covered by the subset.
+	// Instruction level only for the groups covered by the subset. The map is
+	// walked in sorted group order so the job list — and therefore which error
+	// surfaces on failure — is deterministic.
 	byGroup := map[avr.Group][]avr.Class{}
 	for _, c := range classes {
 		byGroup[c.Group()] = append(byGroup[c.Group()], c)
 	}
-	for g, cls := range byGroup {
-		gi := int(g - avr.Group1)
-		if len(cls) < 2 {
-			// A lone class in its group still needs a 2-way pipeline; train
-			// against the full group instead.
-			cls = avr.ClassesInGroup(g)
-		}
-		ds, err := camp.CollectClasses(cls, cfg.Programs, cfg.TracesPerProgram)
-		if err != nil {
-			return nil, err
-		}
-		d.instr[gi], _, err = fitLevel(ds, len(cls), cfg)
-		if err != nil {
-			return nil, err
-		}
-		d.instrClass[gi] = cls
+	groups := make([]avr.Group, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	for _, g := range groups {
+		g, cls := g, byGroup[g]
+		jobs = append(jobs, func() error {
+			gi := int(g - avr.Group1)
+			if len(cls) < 2 {
+				// A lone class in its group still needs a 2-way pipeline; train
+				// against the full group instead.
+				cls = avr.ClassesInGroup(g)
+			}
+			ds, err := camp.CollectClasses(cls, cfg.Programs, cfg.TracesPerProgram)
+			if err != nil {
+				return err
+			}
+			if d.instr[gi], _, err = fitLevel(ds, len(cls), cfg); err != nil {
+				return err
+			}
+			d.instrClass[gi] = cls
+			return nil
+		})
 	}
 
-	if withRegisters && cfg.RegisterPrograms > 0 {
-		rdDS, err := camp.CollectRegisters(true, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
-		if err != nil {
-			return nil, err
-		}
-		d.rd, _, err = fitLevel(rdDS, 32, cfg)
-		if err != nil {
-			return nil, err
-		}
-		rrDS, err := camp.CollectRegisters(false, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
-		if err != nil {
-			return nil, err
-		}
-		d.rr, _, err = fitLevel(rrDS, 32, cfg)
-		if err != nil {
-			return nil, err
-		}
-		d.haveRegs = true
+	withRegs := withRegisters && cfg.RegisterPrograms > 0
+	if withRegs {
+		jobs = append(jobs, func() error {
+			rdDS, err := camp.CollectRegisters(true, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
+			if err != nil {
+				return err
+			}
+			d.rd, _, err = fitLevel(rdDS, 32, cfg)
+			return err
+		}, func() error {
+			rrDS, err := camp.CollectRegisters(false, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
+			if err != nil {
+				return err
+			}
+			d.rr, _, err = fitLevel(rrDS, 32, cfg)
+			return err
+		})
 	}
+	if err := parallel.ForErr(len(jobs), func(i int) error { return jobs[i]() }); err != nil {
+		return nil, err
+	}
+	d.haveRegs = withRegs
 	return d, nil
 }

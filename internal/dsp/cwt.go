@@ -3,6 +3,10 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Morlet wavelet parameters. ω0 = 6 is the standard admissibility-respecting
@@ -14,20 +18,45 @@ const (
 	kernelHalfWidthSigmas = 4.0
 )
 
+// transformCount counts completed scalogram computations process-wide. It is
+// a test hook: the redundancy-elimination layer (core.Disassembler's shared
+// scalogram) asserts "exactly one CWT per trace" by reading the delta.
+var transformCount atomic.Uint64
+
+// TransformCount returns the cumulative number of scalogram computations
+// (Transform/TransformFlat calls, and per-trace items of the batch paths)
+// performed by all CWT instances since process start.
+func TransformCount() uint64 { return transformCount.Load() }
+
+// cwtPlan caches the kernel spectra at one padded FFT length, so every trace
+// of the same length costs one forward FFT plus one inverse FFT per scale.
+type cwtPlan struct {
+	m          int // padded FFT length (power of two)
+	kernelFFTs [][]complex128
+}
+
 // CWT computes a continuous wavelet transform of a real signal using the
 // analytic Morlet wavelet over a fixed bank of scales. The result is the
 // coefficient magnitude |W(j, k)| for scale index j and time index k — a
 // Scales×len(x) matrix, matching the paper's 50×315 time–frequency plane.
+//
+// Concurrency: a CWT is safe for concurrent use by multiple goroutines. The
+// scale bank and kernels are immutable after NewCWT; the per-length FFT plan
+// cache is guarded by an RWMutex (plans are built once per distinct signal
+// length and then only read); all per-call scratch lives on the stack or in
+// an internal buffer pool. TransformBatch and TransformFlatBatch additionally
+// fan the work out over the package-wide parallel.Workers() pool, over both
+// traces and scales.
 type CWT struct {
 	scales  []float64
 	kernels [][]complex128 // time-reversed conjugate wavelet per scale
 
-	// FFT plan cache: kernel spectra at a common padded length, keyed by
-	// that length. Every trace of the same length reuses the plan, so a
-	// Transform costs one forward FFT plus one inverse FFT per scale.
-	planLen     int
-	kernelFFTs  [][]complex128
 	maxKernelSz int
+
+	planMu sync.RWMutex
+	plans  map[int]*cwtPlan // keyed by padded length
+
+	scratch sync.Pool // *[]complex128 work buffers, cap >= padded length
 }
 
 // NewCWT builds a transform with nScales scales geometrically spaced between
@@ -45,6 +74,7 @@ func NewCWT(nScales int, minScale, maxScale float64) (*CWT, error) {
 	c := &CWT{
 		scales:  make([]float64, nScales),
 		kernels: make([][]complex128, nScales),
+		plans:   map[int]*cwtPlan{},
 	}
 	for j := 0; j < nScales; j++ {
 		var s float64
@@ -64,20 +94,52 @@ func NewCWT(nScales int, minScale, maxScale float64) (*CWT, error) {
 	return c, nil
 }
 
-// plan (re)builds the kernel FFT cache for signals of length n.
-func (c *CWT) plan(n int) {
+// planFor returns the kernel-spectrum plan for signals of length n, building
+// and caching it on first use. Double-checked locking keeps the hot path a
+// read lock; concurrent transforms of different lengths each get their own
+// plan entry, so no caller ever observes a plan for the wrong length.
+func (c *CWT) planFor(n int) *cwtPlan {
 	m := NextPow2(n + c.maxKernelSz - 1)
-	if m == c.planLen {
-		return
+	c.planMu.RLock()
+	p := c.plans[m]
+	c.planMu.RUnlock()
+	if p != nil {
+		return p
 	}
-	c.planLen = m
-	c.kernelFFTs = make([][]complex128, len(c.kernels))
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	if p = c.plans[m]; p != nil {
+		return p
+	}
+	p = &cwtPlan{m: m, kernelFFTs: make([][]complex128, len(c.kernels))}
 	for j, kern := range c.kernels {
 		fk := make([]complex128, m)
 		copy(fk, kern)
 		radix2(fk, false)
-		c.kernelFFTs[j] = fk
+		p.kernelFFTs[j] = fk
 	}
+	c.plans[m] = p
+	return p
+}
+
+// getBuf leases an m-element complex scratch buffer from the pool.
+func (c *CWT) getBuf(m int) []complex128 {
+	if v := c.scratch.Get(); v != nil {
+		b := *(v.(*[]complex128))
+		if cap(b) >= m {
+			b = b[:m]
+			for i := range b {
+				b[i] = 0
+			}
+			return b
+		}
+	}
+	return make([]complex128, m)
+}
+
+// putBuf returns a scratch buffer to the pool.
+func (c *CWT) putBuf(b []complex128) {
+	c.scratch.Put(&b)
 }
 
 // NumScales returns the number of scales in the bank.
@@ -108,59 +170,141 @@ func morletKernel(s float64) []complex128 {
 	return k
 }
 
-// Transform returns the 2-D magnitude scalogram of x: out[j][k] = |W(s_j, k)|.
-// The output has len(c.scales) rows and len(x) columns.
-//
-// Transform is not safe for concurrent use: the FFT plan cache is shared.
-func (c *CWT) Transform(x []float64) [][]float64 {
-	out := make([][]float64, len(c.scales))
-	n := len(x)
-	if n == 0 {
-		for j := range out {
-			out[j] = nil
-		}
-		return out
-	}
-	c.plan(n)
-	m := c.planLen
-	fx := make([]complex128, m)
+// forwardFFT returns the padded spectrum of x as a pooled buffer; the caller
+// must release it with putBuf.
+func (c *CWT) forwardFFT(x []float64, p *cwtPlan) []complex128 {
+	fx := c.getBuf(p.m)
 	for i, v := range x {
 		fx[i] = complex(v, 0)
 	}
 	radix2(fx, false)
-	invM := 1 / float64(m)
-	prod := make([]complex128, m)
-	for j := range c.kernels {
-		fk := c.kernelFFTs[j]
-		for i := range prod {
-			prod[i] = fx[i] * fk[i]
-		}
-		radix2(prod, true)
-		off := (len(c.kernels[j]) - 1) / 2
-		row := make([]float64, n)
-		for i := 0; i < n; i++ {
-			v := prod[i+off]
-			row[i] = invM * math.Hypot(real(v), imag(v))
-		}
-		out[j] = row
+	return fx
+}
+
+// row fills dst (length n) with the coefficient magnitudes of scale j, given
+// the padded signal spectrum fx. prod is caller-provided scratch of length m.
+func (c *CWT) row(fx []complex128, p *cwtPlan, j, n int, dst []float64, prod []complex128) {
+	fk := p.kernelFFTs[j]
+	for i := range prod {
+		prod[i] = fx[i] * fk[i]
 	}
+	radix2(prod, true)
+	invM := 1 / float64(p.m)
+	off := (len(c.kernels[j]) - 1) / 2
+	for i := 0; i < n; i++ {
+		v := prod[i+off]
+		dst[i] = invM * math.Hypot(real(v), imag(v))
+	}
+}
+
+// Transform returns the 2-D magnitude scalogram of x: out[j][k] = |W(s_j, k)|.
+// The output has len(c.scales) rows and len(x) columns, all rows sliced from
+// one backing array.
+//
+// Transform is safe for concurrent use; see the CWT type documentation.
+func (c *CWT) Transform(x []float64) [][]float64 {
+	out := make([][]float64, len(c.scales))
+	n := len(x)
+	if n == 0 {
+		return out
+	}
+	backing := make([]float64, len(c.scales)*n)
+	for j := range out {
+		out[j] = backing[j*n : (j+1)*n]
+	}
+	c.transformInto(x, backing)
 	return out
 }
 
 // TransformFlat is Transform with the scalogram flattened row-major into a
 // single vector of length NumScales()*len(x) — the layout the feature
-// selector indexes with (scaleIndex, timeIndex).
+// selector indexes with (scaleIndex, timeIndex). Like Transform it is safe
+// for concurrent use.
 func (c *CWT) TransformFlat(x []float64) []float64 {
-	rows := c.Transform(x)
-	n := 0
-	for _, r := range rows {
-		n += len(r)
+	flat := make([]float64, len(c.scales)*len(x))
+	if len(x) == 0 {
+		return flat
 	}
-	flat := make([]float64, 0, n)
-	for _, r := range rows {
-		flat = append(flat, r...)
-	}
+	c.transformInto(x, flat)
 	return flat
+}
+
+// transformInto computes the row-major scalogram of x into flat
+// (length NumScales()*len(x)) and bumps the transform counter.
+func (c *CWT) transformInto(x []float64, flat []float64) {
+	n := len(x)
+	p := c.planFor(n)
+	fx := c.forwardFFT(x, p)
+	prod := c.getBuf(p.m)
+	for j := range c.kernels {
+		c.row(fx, p, j, n, flat[j*n:(j+1)*n], prod)
+	}
+	c.putBuf(prod)
+	c.putBuf(fx)
+	transformCount.Add(1)
+}
+
+// TransformFlatBatch computes the flattened scalogram of every trace,
+// parallelized over both traces and scales on the parallel.Workers() pool.
+// The result is index-aligned with xs and identical to calling TransformFlat
+// per trace. All traces must share one length.
+func (c *CWT) TransformFlatBatch(xs [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(xs))
+	if len(xs) == 0 {
+		return out, nil
+	}
+	n := len(xs[0])
+	for i, x := range xs {
+		if len(x) != n {
+			return nil, fmt.Errorf("dsp: batch trace %d has length %d, want %d", i, len(x), n)
+		}
+		out[i] = make([]float64, len(c.scales)*n)
+	}
+	if n == 0 {
+		return out, nil
+	}
+	p := c.planFor(n)
+	// Phase 1: one forward FFT per trace, parallel over traces.
+	fxs := make([][]complex128, len(xs))
+	parallel.For(len(xs), func(i int) {
+		fxs[i] = c.forwardFFT(xs[i], p)
+	})
+	// Phase 2: one task per (trace, scale) pair — fine enough granularity to
+	// keep every worker busy whether the batch is wide or the bank is deep.
+	nScales := len(c.scales)
+	parallel.For(len(xs)*nScales, func(t int) {
+		i, j := t/nScales, t%nScales
+		prod := c.getBuf(p.m)
+		c.row(fxs[i], p, j, n, out[i][j*n:(j+1)*n], prod)
+		c.putBuf(prod)
+	})
+	for _, fx := range fxs {
+		c.putBuf(fx)
+	}
+	transformCount.Add(uint64(len(xs)))
+	return out, nil
+}
+
+// TransformBatch is TransformFlatBatch with each scalogram reshaped to the
+// Scales×len(x) row view of Transform.
+func (c *CWT) TransformBatch(xs [][]float64) ([][][]float64, error) {
+	flats, err := c.TransformFlatBatch(xs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]float64, len(xs))
+	for i, flat := range flats {
+		n := 0
+		if len(c.scales) > 0 {
+			n = len(flat) / len(c.scales)
+		}
+		rows := make([][]float64, len(c.scales))
+		for j := range rows {
+			rows[j] = flat[j*n : (j+1)*n]
+		}
+		out[i] = rows
+	}
+	return out, nil
 }
 
 // AlignByCrossCorrelation shifts trace so that its cross-correlation with

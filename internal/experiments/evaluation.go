@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 	"repro/internal/power"
 )
 
@@ -224,19 +225,29 @@ func Fig6(sc Scale, vars []int) (*Fig6Result, error) {
 }
 
 // pairVectors precomputes, for every trace, its feature vector for every
-// class pair (truncated to maxVars points).
+// class pair (truncated to maxVars points). Each trace's scalogram is
+// computed once and shared across all pairs, and the traces run concurrently
+// on the parallel.Workers() pool into index-owned slots.
 func pairVectors(pipe *features.Pipeline, traces [][]float64, maxVars int) ([][][]float64, error) {
 	out := make([][][]float64, len(traces))
-	for i, tr := range traces {
+	err := parallel.ForErr(len(traces), func(i int) error {
+		flat, err := pipe.RawScalogram(traces[i])
+		if err != nil {
+			return err
+		}
 		vecs := make([][]float64, pipe.PairCount())
 		for p := 0; p < pipe.PairCount(); p++ {
-			v, err := pipe.PairVector(p, tr, maxVars)
+			v, err := pipe.PairVectorFromScalogram(p, flat, maxVars)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			vecs[p] = v
 		}
 		out[i] = vecs
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,152 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// fitBoth fits the same dataset at two worker counts and returns both
+// pipelines.
+func fitAt(t *testing.T, workers int, cfg PipelineConfig) (*Pipeline, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	traces, labels, programs := synthDataset(rng, 6, 3, true)
+	parallel.SetWorkers(workers)
+	pl, err := FitPipeline(traces, labels, programs, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, traces
+}
+
+// TestFitPipelineParallelEquivalence requires the fitted pipeline — selected
+// points, pair features, and the features it extracts — to be bit-identical
+// between a single-worker and a multi-worker fit. The container may have one
+// CPU, so the worker count is pinned explicitly.
+func TestFitPipelineParallelEquivalence(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	for _, cfg := range []PipelineConfig{DefaultPipelineConfig(), CSAPipelineConfig()} {
+		cfg.NumComponents = 4
+		serial, traces := fitAt(t, 1, cfg)
+		par, _ := fitAt(t, 4, cfg)
+
+		if len(serial.Points) != len(par.Points) {
+			t.Fatalf("point counts differ: %d vs %d", len(serial.Points), len(par.Points))
+		}
+		for i := range serial.Points {
+			if serial.Points[i] != par.Points[i] {
+				t.Fatalf("point %d differs: %+v vs %+v", i, serial.Points[i], par.Points[i])
+			}
+		}
+		if len(serial.Pairs) != len(par.Pairs) {
+			t.Fatalf("pair counts differ")
+		}
+		for i := range serial.Pairs {
+			a, b := serial.Pairs[i], par.Pairs[i]
+			if a.A != b.A || a.B != b.B || len(a.Points) != len(b.Points) {
+				t.Fatalf("pair %d differs: %+v vs %+v", i, a, b)
+			}
+			for j := range a.Points {
+				if a.Points[j] != b.Points[j] || a.KL[j] != b.KL[j] {
+					t.Fatalf("pair %d point %d differs", i, j)
+				}
+			}
+		}
+		sf, err := serial.ExtractAll(traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel.SetWorkers(4)
+		pf, err := par.ExtractAll(traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sf {
+			for j := range sf[i] {
+				if sf[i][j] != pf[i][j] {
+					t.Fatalf("feature [%d][%d] differs: %v vs %v", i, j, sf[i][j], pf[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestFitPipelineCacheEquivalence forces the chunked recompute path (cache
+// budget zero) and requires it to produce the same pipeline as the cached
+// one-CWT-per-trace path.
+func TestFitPipelineCacheEquivalence(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	defer func(v int) { MaxScalogramCacheBytes = v }(MaxScalogramCacheBytes)
+
+	cfg := CSAPipelineConfig()
+	cfg.NumComponents = 4
+	cached, traces := fitAt(t, 4, cfg)
+	MaxScalogramCacheBytes = 0
+	uncached, _ := fitAt(t, 4, cfg)
+
+	cf, err := cached.ExtractAll(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := uncached.ExtractAll(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cf {
+		for j := range cf[i] {
+			if cf[i][j] != uf[i][j] {
+				t.Fatalf("cached/uncached feature [%d][%d] differs: %v vs %v", i, j, cf[i][j], uf[i][j])
+			}
+		}
+	}
+}
+
+// TestExtractFromScalogramMatchesExtract checks the shared-scalogram path is
+// exactly the per-call path: RawScalogram + ExtractFromScalogram == Extract,
+// and likewise for pair vectors, for both normalization regimes.
+func TestExtractFromScalogramMatchesExtract(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	for _, cfg := range []PipelineConfig{DefaultPipelineConfig(), CSAPipelineConfig()} {
+		cfg.NumComponents = 4
+		pl, traces := fitAt(t, 1, cfg)
+		for _, tr := range traces[:6] {
+			want, err := pl.Extract(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := pl.RawScalogram(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pl.ExtractFromScalogram(flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("ExtractFromScalogram[%d] = %v, Extract = %v", j, got[j], want[j])
+				}
+			}
+			for p := 0; p < pl.PairCount(); p++ {
+				wv, err := pl.PairVector(p, tr, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gv, err := pl.PairVectorFromScalogram(p, flat, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range wv {
+					if wv[j] != gv[j] {
+						t.Fatalf("pair %d vector differs at %d", p, j)
+					}
+				}
+			}
+		}
+		if _, err := pl.ExtractFromScalogram(make([]float64, 3)); err == nil {
+			t.Fatal("wrong-size scalogram should fail")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -55,8 +56,22 @@ func CSAPipelineConfig() PipelineConfig {
 	return cfg
 }
 
+// MaxScalogramCacheBytes bounds the memory FitPipeline may spend retaining
+// per-trace scalograms between its statistics pass and its feature pass.
+// Below the bound each training trace costs exactly one CWT; above it the
+// feature pass recomputes scalograms (in parallel) instead of caching them.
+// It is a variable so tests can force the recompute path.
+var MaxScalogramCacheBytes = 512 << 20
+
 // Pipeline converts raw traces into low-dimensional classifier inputs. It is
 // fitted once on labeled training traces and then applied to any trace.
+//
+// Concurrency: a fitted Pipeline is immutable, so Extract, ExtractAll,
+// ExtractFromScalogram, PairVector and friends are safe for concurrent use.
+// FitPipeline itself parallelizes its CWT, pairwise-selection and feature
+// passes over the parallel.Workers() pool; its result is identical (bitwise)
+// to a single-worker run because every parallel loop writes index-owned
+// slots and all reductions happen serially in index order.
 type Pipeline struct {
 	cfg      PipelineConfig
 	sel      *Selector
@@ -71,6 +86,11 @@ type Pipeline struct {
 // FitPipeline learns the full extraction chain from labeled traces.
 // programs gives the program-file ID of each trace (used for the
 // within-class not-varying masks); labels must be 0..nClasses-1.
+//
+// Each training trace is transformed exactly once: the scalogram feeds the
+// statistics pass and is cached (bounded by MaxScalogramCacheBytes) for the
+// feature pass. The CWT, the O(nClasses²) pairwise DNVP selection and the
+// feature pass all run on the parallel.Workers() pool.
 func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg PipelineConfig) (*Pipeline, error) {
 	if len(traces) == 0 || len(traces) != len(labels) || len(traces) != len(programs) {
 		return nil, errors.New("features: FitPipeline needs equal-length traces/labels/programs")
@@ -84,8 +104,18 @@ func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg P
 	}
 	sel.KLth = cfg.KLth
 	sel.TopPerPair = cfg.TopPerPair
+	for _, l := range labels {
+		if l < 0 || l >= nClasses {
+			return nil, fmt.Errorf("features: label %d out of range [0,%d)", l, nClasses)
+		}
+	}
 
 	// Pass 1: accumulate per-class and per-(class, program) statistics.
+	// Scalograms are computed in parallel (chunked to bound peak memory) and
+	// accumulated serially in trace order, so the statistics are independent
+	// of the worker count. When the whole set fits the cache budget, the
+	// chunk is the full set and pass 2 reuses the scalograms — one CWT per
+	// training trace total.
 	classStats := make([]*PointStats, nClasses)
 	perProgram := make([]map[int]*PointStats, nClasses)
 	for c := range classStats {
@@ -93,22 +123,49 @@ func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg P
 		perProgram[c] = map[int]*PointStats{}
 	}
 	pl := &Pipeline{cfg: cfg, sel: sel, nClasses: nClasses}
-	for i, tr := range traces {
-		l := labels[i]
-		if l < 0 || l >= nClasses {
-			return nil, fmt.Errorf("features: label %d out of range [0,%d)", l, nClasses)
+	n := len(traces)
+	useCache := n*sel.numPoints()*8 <= MaxScalogramCacheBytes
+	chunk := n
+	if !useCache {
+		if chunk = 8 * parallel.Workers(); chunk > n {
+			chunk = n
 		}
-		flat := pl.flatScalogram(tr)
-		if err := classStats[l].Add(flat); err != nil {
+	}
+	var flats [][]float64
+	if useCache {
+		flats = make([][]float64, n)
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		sub, err := sel.CWT.TransformFlatBatch(traces[lo:hi])
+		if err != nil {
 			return nil, err
 		}
-		pp := perProgram[l][programs[i]]
-		if pp == nil {
-			pp = NewPointStats(sel.numPoints())
-			perProgram[l][programs[i]] = pp
+		if cfg.PerTraceNorm {
+			parallel.For(len(sub), func(k int) {
+				stats.NormalizeTraceInto(sub[k], sub[k])
+			})
 		}
-		if err := pp.Add(flat); err != nil {
-			return nil, err
+		for i := lo; i < hi; i++ {
+			flat := sub[i-lo]
+			l := labels[i]
+			if err := classStats[l].Add(flat); err != nil {
+				return nil, err
+			}
+			pp := perProgram[l][programs[i]]
+			if pp == nil {
+				pp = NewPointStats(sel.numPoints())
+				perProgram[l][programs[i]] = pp
+			}
+			if err := pp.Add(flat); err != nil {
+				return nil, err
+			}
+			if useCache {
+				flats[i] = flat
+			}
 		}
 	}
 	// Not-varying masks per class (nil masks disable the filter).
@@ -124,19 +181,30 @@ func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg P
 			}
 		}
 	}
-	// Pairwise DNVP selection.
-	var pairs []PairFeatures
+	// Pairwise DNVP selection, parallel over the O(nClasses²) class pairs.
+	// Each pair writes its own slot; the union below walks the slots in the
+	// serial (a, b) order, so the unified point set is order-independent.
+	type pairJob struct{ a, b int }
+	var jobs []pairJob
 	for a := 0; a < nClasses; a++ {
 		for b := a + 1; b < nClasses; b++ {
 			if classStats[a].N < 2 || classStats[b].N < 2 {
 				return nil, fmt.Errorf("features: classes %d/%d lack traces", a, b)
 			}
-			pf, err := sel.SelectPair(a, b, classStats[a], classStats[b], masks[a], masks[b])
-			if err != nil {
-				return nil, err
-			}
-			pairs = append(pairs, pf)
+			jobs = append(jobs, pairJob{a, b})
 		}
+	}
+	pairs := make([]PairFeatures, len(jobs))
+	if err := parallel.ForErr(len(jobs), func(i int) error {
+		j := jobs[i]
+		pf, err := sel.SelectPair(j.a, j.b, classStats[j.a], classStats[j.b], masks[j.a], masks[j.b])
+		if err != nil {
+			return err
+		}
+		pairs[i] = pf
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	points := UnionPoints(pairs)
 	pos := map[Point]int{}
@@ -153,14 +221,25 @@ func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg P
 	}
 	pl.Points, pl.Pairs, pl.pairIdx = points, pairs, pairIdx
 
-	// Pass 2: extract training features and fit normalizer + PCA.
-	feats := make([][]float64, len(traces))
-	for i, tr := range traces {
-		f, err := pl.rawFeatures(tr)
-		if err != nil {
+	// Pass 2: extract training features and fit normalizer + PCA. Cached
+	// scalograms are already normalized, so this pass is pure indexing;
+	// without the cache the scalograms are recomputed in parallel.
+	feats := make([][]float64, n)
+	if useCache {
+		parallel.For(n, func(i int) {
+			feats[i] = pl.pointsFromNormalized(flats[i])
+		})
+	} else {
+		if err := parallel.ForErr(n, func(i int) error {
+			f, err := pl.rawFeatures(traces[i])
+			if err != nil {
+				return err
+			}
+			feats[i] = f
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		feats[i] = f
 	}
 	if cfg.Standardize {
 		z := &stats.ZScoreNormalizer{}
@@ -184,28 +263,70 @@ func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg P
 	return pl, nil
 }
 
-// flatScalogram computes the flattened CWT scalogram of a trace, per-trace
-// normalized when the pipeline runs in CSA mode.
-func (pl *Pipeline) flatScalogram(trace []float64) []float64 {
-	flat := pl.sel.CWT.TransformFlat(trace)
-	if pl.cfg.PerTraceNorm {
-		flat = stats.NormalizeTrace(flat)
-	}
-	return flat
-}
-
-// rawFeatures extracts the unified DNVP values from the (possibly
-// normalized) scalogram, before standardization/PCA.
-func (pl *Pipeline) rawFeatures(trace []float64) ([]float64, error) {
+// RawScalogram computes the flattened, un-normalized CWT scalogram of a
+// trace — the shared representation every hierarchy level of a Disassembler
+// extracts from. Pass it to ExtractFromScalogram / PairVectorFromScalogram
+// of any pipeline fitted for the same trace length; per-trace normalization
+// (CSA) is applied by the consuming pipeline, not here, so pipelines with
+// different configurations can share one scalogram.
+func (pl *Pipeline) RawScalogram(trace []float64) ([]float64, error) {
 	if len(trace) != pl.sel.TraceLen {
 		return nil, fmt.Errorf("features: trace length %d, want %d", len(trace), pl.sel.TraceLen)
 	}
-	flat := pl.flatScalogram(trace)
+	return pl.sel.CWT.TransformFlat(trace), nil
+}
+
+// pointsFromNormalized reads the unified DNVP values out of a scalogram that
+// already carries the pipeline's per-trace normalization (fit-time cache).
+func (pl *Pipeline) pointsFromNormalized(flat []float64) []float64 {
 	out := make([]float64, len(pl.Points))
 	for i, p := range pl.Points {
 		out[i] = flat[pl.sel.flatIndex(p)]
 	}
+	return out
+}
+
+// rawFeaturesFromScalogram extracts the unified DNVP values from a raw
+// (un-normalized) scalogram, applying the per-trace normalization on the fly
+// — (v − mean)/std over the full plane, evaluated only at the selected
+// points, bit-identical to normalizing the whole plane first.
+func (pl *Pipeline) rawFeaturesFromScalogram(flat []float64) ([]float64, error) {
+	if len(flat) != pl.sel.numPoints() {
+		return nil, fmt.Errorf("features: scalogram length %d, want %d", len(flat), pl.sel.numPoints())
+	}
+	out := make([]float64, len(pl.Points))
+	if pl.cfg.PerTraceNorm {
+		m, sd := stats.TraceNormParams(flat)
+		for i, p := range pl.Points {
+			out[i] = (flat[pl.sel.flatIndex(p)] - m) / sd
+		}
+		return out, nil
+	}
+	for i, p := range pl.Points {
+		out[i] = flat[pl.sel.flatIndex(p)]
+	}
 	return out, nil
+}
+
+// rawFeatures extracts the unified DNVP values of one trace (one CWT).
+func (pl *Pipeline) rawFeatures(trace []float64) ([]float64, error) {
+	flat, err := pl.RawScalogram(trace)
+	if err != nil {
+		return nil, err
+	}
+	return pl.rawFeaturesFromScalogram(flat)
+}
+
+// finishFeatures applies the fitted z-score and PCA stages to a raw feature
+// vector.
+func (pl *Pipeline) finishFeatures(f []float64) ([]float64, error) {
+	if pl.z != nil {
+		var err error
+		if f, err = pl.z.Apply(f); err != nil {
+			return nil, err
+		}
+	}
+	return pl.pca.Transform(f)
 }
 
 // Extract maps one trace to its final classifier input.
@@ -214,23 +335,36 @@ func (pl *Pipeline) Extract(trace []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if pl.z != nil {
-		if f, err = pl.z.Apply(f); err != nil {
-			return nil, err
-		}
-	}
-	return pl.pca.Transform(f)
+	return pl.finishFeatures(f)
 }
 
-// ExtractAll maps a batch of traces.
+// ExtractFromScalogram maps a precomputed raw scalogram (see RawScalogram)
+// to the final classifier input without re-running the CWT. This is the
+// zero-redundancy path the hierarchical Disassembler classifies through:
+// one scalogram per trace, shared by the group, instruction, Rd and Rr
+// pipelines.
+func (pl *Pipeline) ExtractFromScalogram(flat []float64) ([]float64, error) {
+	f, err := pl.rawFeaturesFromScalogram(flat)
+	if err != nil {
+		return nil, err
+	}
+	return pl.finishFeatures(f)
+}
+
+// ExtractAll maps a batch of traces, parallelized over the
+// parallel.Workers() pool. The result is index-aligned with traces and
+// identical to serial per-trace Extract calls.
 func (pl *Pipeline) ExtractAll(traces [][]float64) ([][]float64, error) {
 	out := make([][]float64, len(traces))
-	for i, tr := range traces {
-		f, err := pl.Extract(tr)
+	if err := parallel.ForErr(len(traces), func(i int) error {
+		f, err := pl.Extract(traces[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = f
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -245,6 +379,9 @@ func (pl *Pipeline) NumPoints() int { return len(pl.Points) }
 // NumClasses returns the class count the pipeline was fitted for.
 func (pl *Pipeline) NumClasses() int { return pl.nClasses }
 
+// TraceLen returns the trace length the pipeline was fitted for.
+func (pl *Pipeline) TraceLen() int { return pl.sel.TraceLen }
+
 // PairCount returns the number of class pairs.
 func (pl *Pipeline) PairCount() int { return len(pl.Pairs) }
 
@@ -252,10 +389,21 @@ func (pl *Pipeline) PairCount() int { return len(pl.Pairs) }
 // majority voting) out of the unified raw feature vector of a trace.
 // maxVars truncates to the strongest maxVars points (0 = all).
 func (pl *Pipeline) PairVector(pair int, trace []float64, maxVars int) ([]float64, error) {
+	flat, err := pl.RawScalogram(trace)
+	if err != nil {
+		return nil, err
+	}
+	return pl.PairVectorFromScalogram(pair, flat, maxVars)
+}
+
+// PairVectorFromScalogram is PairVector against a precomputed raw scalogram,
+// so a trace voted on by many pair classifiers costs one CWT instead of one
+// per pair.
+func (pl *Pipeline) PairVectorFromScalogram(pair int, flat []float64, maxVars int) ([]float64, error) {
 	if pair < 0 || pair >= len(pl.Pairs) {
 		return nil, fmt.Errorf("features: pair %d out of range", pair)
 	}
-	f, err := pl.rawFeatures(trace)
+	f, err := pl.rawFeaturesFromScalogram(flat)
 	if err != nil {
 		return nil, err
 	}

@@ -97,17 +97,25 @@ func (s *Selector) PointOf(i int) Point {
 }
 
 // AccumulateStats computes the per-point Gaussian statistics of a set of
-// traces (CWT applied on the fly).
+// traces. The scalograms are computed in parallel (batch CWT) and
+// accumulated serially in trace order, so the result does not depend on the
+// worker count.
 func (s *Selector) AccumulateStats(traces [][]float64) (*PointStats, error) {
 	if len(traces) < 2 {
 		return nil, errors.New("features: need at least 2 traces for statistics")
 	}
-	ps := NewPointStats(s.numPoints())
 	for _, tr := range traces {
 		if len(tr) != s.TraceLen {
 			return nil, fmt.Errorf("features: trace length %d, want %d", len(tr), s.TraceLen)
 		}
-		if err := ps.Add(s.CWT.TransformFlat(tr)); err != nil {
+	}
+	ps := NewPointStats(s.numPoints())
+	flats, err := s.CWT.TransformFlatBatch(traces)
+	if err != nil {
+		return nil, err
+	}
+	for _, flat := range flats {
+		if err := ps.Add(flat); err != nil {
 			return nil, err
 		}
 	}

@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // Classifier is the common supervised-classification interface. Labels are
@@ -100,14 +102,25 @@ func ConfusionMatrix(clf Classifier, X [][]float64, y []int, nClasses int) ([][]
 
 // KFoldCV returns the mean validation accuracy of the classifier produced by
 // make() across k stratification-free folds (the paper uses 3-fold CV for
-// the SVM grid search).
+// the SVM grid search). The single Perm draw happens up front; the k folds
+// then train and evaluate concurrently on the parallel.Workers() pool, and
+// the per-fold accuracies are summed in fold order, so the score is
+// bit-identical to a serial run. make() must therefore be safe to call from
+// multiple goroutines — constructing a fresh classifier per call (the normal
+// usage) satisfies this.
 func KFoldCV(make func() Classifier, X [][]float64, y []int, k int, rng *rand.Rand) (float64, error) {
 	if k < 2 || len(X) < k {
 		return 0, fmt.Errorf("ml: cannot run %d-fold CV on %d samples", k, len(X))
 	}
-	idx := rng.Perm(len(X))
-	var total float64
-	for fold := 0; fold < k; fold++ {
+	return kFoldCVPerm(make, X, y, k, rng.Perm(len(X)))
+}
+
+// kFoldCVPerm is KFoldCV with the shuffle already drawn, so grid searches can
+// pre-draw every cell's permutation serially and evaluate cells in parallel
+// without perturbing the rng stream.
+func kFoldCVPerm(mk func() Classifier, X [][]float64, y []int, k int, idx []int) (float64, error) {
+	accs := make([]float64, k)
+	err := parallel.ForErr(k, func(fold int) error {
 		var trX, vaX [][]float64
 		var trY, vaY []int
 		for pos, j := range idx {
@@ -119,15 +132,23 @@ func KFoldCV(make func() Classifier, X [][]float64, y []int, k int, rng *rand.Ra
 				trY = append(trY, y[j])
 			}
 		}
-		clf := make()
+		clf := mk()
 		if err := clf.Fit(trX, trY); err != nil {
-			return 0, err
+			return err
 		}
 		acc, err := EvaluateAccuracy(clf, vaX, vaY)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		total += acc
+		accs[fold] = acc
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, a := range accs {
+		total += a
 	}
 	return total / float64(k), nil
 }

@@ -1,0 +1,62 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func blobData(rng *rand.Rand, perClass int) (X [][]float64, y []int) {
+	centers := [][]float64{{0, 0}, {3, 3}, {0, 4}}
+	for c, ctr := range centers {
+		for i := 0; i < perClass; i++ {
+			X = append(X, []float64{ctr[0] + rng.NormFloat64(), ctr[1] + rng.NormFloat64()})
+			y = append(y, c)
+		}
+	}
+	return
+}
+
+// TestKFoldCVParallelEquivalence: same seed, same score at any worker count.
+func TestKFoldCVParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := blobData(rng, 12)
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(1)
+	want, err := KFoldCV(func() Classifier { return NewLDA() }, X, y, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetWorkers(4)
+	got, err := KFoldCV(func() Classifier { return NewLDA() }, X, y, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatalf("CV score differs: serial %v, parallel %v", want, got)
+	}
+}
+
+// TestGridSearchSVMParallelEquivalence: the chosen hyperparameters and score
+// must not depend on the worker count.
+func TestGridSearchSVMParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	X, y := blobData(rng, 10)
+	cs := []float64{0.1, 1, 10}
+	gammas := []float64{0.1, 1}
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(1)
+	_, want, err := GridSearchSVM(X, y, cs, gammas, 3, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetWorkers(4)
+	_, got, err := GridSearchSVM(X, y, cs, gammas, 3, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatalf("grid search differs: serial %+v, parallel %+v", want, got)
+	}
+}

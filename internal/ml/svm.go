@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // Kernel is an SVM kernel function.
@@ -279,21 +281,46 @@ type GridSearchResult struct {
 // GridSearchSVM selects C and the RBF γ by k-fold cross-validation (the
 // paper: grid search with 3-fold CV) and returns the model refitted on the
 // full training set.
+//
+// Determinism under parallelism: each grid cell's CV shuffle is drawn from
+// rng serially in grid order before any evaluation starts, the cells are then
+// scored concurrently into per-cell slots, and the winner is picked by a
+// serial scan in the same grid order (strict improvement only) — so the
+// selected hyperparameters and CV scores match a serial run exactly.
 func GridSearchSVM(X [][]float64, y []int, cs, gammas []float64, folds int, rng *rand.Rand) (*SVM, GridSearchResult, error) {
 	if len(cs) == 0 || len(gammas) == 0 {
 		return nil, GridSearchResult{}, errors.New("ml: grid search needs candidate lists")
 	}
-	best := GridSearchResult{CVScore: -1}
+	if folds < 2 || len(X) < folds {
+		return nil, GridSearchResult{}, fmt.Errorf("ml: cannot run %d-fold CV on %d samples", folds, len(X))
+	}
+	type cell struct {
+		c, g float64
+		perm []int
+	}
+	var cells []cell
 	for _, c := range cs {
 		for _, g := range gammas {
-			c, g := c, g
-			score, err := KFoldCV(func() Classifier { return NewSVM(c, RBFKernel{Gamma: g}) }, X, y, folds, rng)
-			if err != nil {
-				return nil, GridSearchResult{}, err
-			}
-			if score > best.CVScore {
-				best = GridSearchResult{C: c, Gamma: g, CVScore: score}
-			}
+			cells = append(cells, cell{c: c, g: g, perm: rng.Perm(len(X))})
+		}
+	}
+	scores := make([]float64, len(cells))
+	err := parallel.ForErr(len(cells), func(i int) error {
+		cl := cells[i]
+		score, err := kFoldCVPerm(func() Classifier { return NewSVM(cl.c, RBFKernel{Gamma: cl.g}) }, X, y, folds, cl.perm)
+		if err != nil {
+			return err
+		}
+		scores[i] = score
+		return nil
+	})
+	if err != nil {
+		return nil, GridSearchResult{}, err
+	}
+	best := GridSearchResult{CVScore: -1}
+	for i, cl := range cells {
+		if scores[i] > best.CVScore {
+			best = GridSearchResult{C: cl.c, Gamma: cl.g, CVScore: scores[i]}
 		}
 	}
 	final := NewSVM(best.C, RBFKernel{Gamma: best.Gamma})

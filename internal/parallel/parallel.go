@@ -1,0 +1,139 @@
+// Package parallel provides the bounded worker-pool primitives the feature
+// pipeline, trainer and experiment harness parallelize with.
+//
+// Design rules, shared by every caller in this repository:
+//
+//   - Work is expressed as an index space [0, n); each index writes only its
+//     own output slot, so the result of a parallel loop is byte-identical to
+//     the serial loop regardless of scheduling.
+//   - Any reduction over the slots (summing statistics, picking a best score,
+//     reporting an error) happens afterwards, serially, in index order —
+//     deterministic floating-point accumulation comes for free.
+//   - The worker count is a process-wide knob (SetWorkers / the -workers
+//     flag); 0 or negative means runtime.NumCPU(). With one worker the loop
+//     body runs inline on the calling goroutine, so "serial mode" is exactly
+//     the pre-parallelism code path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// configured is the requested worker count; <= 0 selects runtime.NumCPU().
+var configured atomic.Int64
+
+// SetWorkers pins the process-wide worker count used by For and ForErr.
+// n <= 0 restores the default (runtime.NumCPU()).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	configured.Store(int64(n))
+}
+
+// Workers returns the effective worker count (always >= 1).
+func Workers() int {
+	if n := int(configured.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// For runs fn(i) for every i in [0, n) on up to Workers() goroutines and
+// returns when all calls have finished. Indices are handed out by an atomic
+// counter, so bodies must not depend on execution order; each body should
+// write only to state owned by its index. With Workers() == 1 (or n <= 1)
+// the loop runs inline on the calling goroutine.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr runs fn(i) for every i in [0, n) like For and returns the error of
+// the lowest failing index — the same error a serial loop that stops at the
+// first failure would report. Once any index fails, indices above the lowest
+// known failure are skipped (their slots stay zero), mirroring the serial
+// early exit; indices below it still run, which is harmless because slot
+// writes are independent.
+func ForErr(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		next     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	bound := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstIdx
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || i > bound() {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	SetWorkers(0)
+	if got := Workers(); got != runtime.NumCPU() {
+		t.Fatalf("Workers() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+	SetWorkers(-5)
+	if got := Workers(); got != runtime.NumCPU() {
+		t.Fatalf("Workers() after negative = %d, want NumCPU", got)
+	}
+	SetWorkers(0)
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 16} {
+		SetWorkers(w)
+		const n = 1000
+		out := make([]int64, n)
+		For(n, func(i int) { atomic.AddInt64(&out[i], 1) })
+		for i, v := range out {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, v)
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestForZeroAndOne(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	ran := 0
+	For(0, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("For(0) ran %d times", ran)
+	}
+	For(1, func(int) { ran++ })
+	if ran != 1 {
+		t.Fatalf("For(1) ran %d times", ran)
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		SetWorkers(w)
+		err := ForErr(100, func(i int) error {
+			if i == 7 || i == 50 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 7" {
+			t.Fatalf("workers=%d: err = %v, want fail at 7", w, err)
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestForErrNilOnSuccess(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	if err := ForErr(64, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestForErrPropagatesSentinel(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	sentinel := errors.New("boom")
+	err := ForErr(10, func(i int) error {
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap sentinel", err)
+	}
+}

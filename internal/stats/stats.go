@@ -160,15 +160,14 @@ func (z *ZScoreNormalizer) ApplyAll(X [][]float64) ([][]float64, error) {
 	return out, nil
 }
 
-// NormalizeTrace standardizes a single feature vector by its own mean and
-// standard deviation. This is the covariate-shift-adaptation normalization:
-// a per-trace DC offset or gain (program- or device-induced) cancels exactly,
-// because it shifts/scales every selected feature point of that trace
-// together.
-func NormalizeTrace(x []float64) []float64 {
-	out := make([]float64, len(x))
+// TraceNormParams returns the per-trace normalization parameters used by
+// NormalizeTrace: the mean and the (population, minSigma-floored) standard
+// deviation of x. Exposing them lets callers normalize a few selected points
+// on the fly — (v − mean)/std, bit-identical to indexing the NormalizeTrace
+// output — without materializing the full normalized vector.
+func TraceNormParams(x []float64) (mean, std float64) {
 	if len(x) == 0 {
-		return out
+		return 0, minSigma
 	}
 	m := Mean(x)
 	var ss float64
@@ -180,10 +179,31 @@ func NormalizeTrace(x []float64) []float64 {
 	if sd < minSigma {
 		sd = minSigma
 	}
-	for i, v := range x {
-		out[i] = (v - m) / sd
+	return m, sd
+}
+
+// NormalizeTrace standardizes a single feature vector by its own mean and
+// standard deviation. This is the covariate-shift-adaptation normalization:
+// a per-trace DC offset or gain (program- or device-induced) cancels exactly,
+// because it shifts/scales every selected feature point of that trace
+// together.
+func NormalizeTrace(x []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
 	}
+	NormalizeTraceInto(out, x)
 	return out
+}
+
+// NormalizeTraceInto writes the NormalizeTrace result of x into dst; dst and
+// x may be the same slice (in-place normalization, used by the fit-time
+// scalogram cache to avoid a second full-plane allocation per trace).
+func NormalizeTraceInto(dst, x []float64) {
+	m, sd := TraceNormParams(x)
+	for i, v := range x {
+		dst[i] = (v - m) / sd
+	}
 }
 
 // Accuracy returns the fraction of positions where pred equals want.

@@ -30,6 +30,7 @@ import (
 	"repro/internal/avr"
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/parallel"
 	"repro/internal/power"
 )
 
@@ -89,6 +90,15 @@ const (
 // DefaultConfig returns a laptop-scale training configuration with covariate
 // shift adaptation enabled (the paper's best-practice pipeline).
 func DefaultConfig() Config { return core.DefaultTrainerConfig() }
+
+// SetWorkers bounds the worker pool used by the CWT, feature-selection,
+// training, and disassembly stages. n <= 0 restores the default of
+// runtime.NumCPU(). Results are identical at every setting — parallelism
+// changes only wall-clock time, never output.
+func SetWorkers(n int) { parallel.SetWorkers(n) }
+
+// Workers reports the effective worker-pool size.
+func Workers() int { return parallel.Workers() }
 
 // DefaultPowerConfig returns the paper's acquisition parameters (16 MHz
 // target, 2.5 GS/s scope, 315-sample traces).

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench verify
+.PHONY: build test race vet lint bench verify
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# vet plus staticcheck; staticcheck is skipped (with a note) when the binary
+# is not on PATH so lint stays usable in minimal environments. CI always has
+# it via the staticcheck action.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 bench:
 	$(GO) test -run '^$$' -bench Pipeline -benchmem .

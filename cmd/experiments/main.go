@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -39,7 +42,15 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines for the feature/training pipeline (0 = all CPUs)")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", *workers))
+	}
 	parallel.SetWorkers(*workers)
+
+	// Ctrl-C / SIGTERM stops the run between experiments instead of leaving
+	// a half-written results dump.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	sc := experiments.DefaultScale()
 	if *paper {
@@ -77,6 +88,9 @@ func main() {
 		names = []string{"table2", "fig4", "fig2", "fig3", "fig5a", "fig5b", "fig6", "registers", "table3", "table4", "table1", "malware", "ablations"}
 	}
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			fatal(fmt.Errorf("interrupted before %s: %w", name, err))
+		}
 		start := time.Now()
 		out, err := dispatch(strings.TrimSpace(name), sc, pcs, vars)
 		if err != nil {

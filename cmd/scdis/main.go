@@ -14,12 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/avr"
 	"repro/internal/core"
@@ -32,6 +35,10 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// Ctrl-C / SIGTERM cancels the context; the train/disassemble pipelines
+	// stop scheduling new work and return context.Canceled promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
@@ -42,9 +49,9 @@ func main() {
 	case "decode":
 		err = runDecode(args)
 	case "demo":
-		err = runDemo(args)
+		err = runDemo(ctx, args)
 	case "detect":
-		err = runDetect(args)
+		err = runDetect(ctx, args)
 	default:
 		usage()
 	}
@@ -112,7 +119,17 @@ func campaignFlags(fs *flag.FlagSet) (*int, *int, *uint64, *int) {
 	return programs, traces, seed, workers
 }
 
-func runDemo(args []string) error {
+// applyWorkers validates and installs the -workers flag value. Negative
+// counts are a usage error, not something to silently clamp.
+func applyWorkers(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", workers)
+	}
+	parallel.SetWorkers(workers)
+	return nil
+}
+
+func runDemo(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
 	programs, traces, seed, workers := campaignFlags(fs)
 	saveTo := fs.String("save", "", "write the trained templates to this file")
@@ -120,7 +137,9 @@ func runDemo(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	parallel.SetWorkers(*workers)
+	if err := applyWorkers(*workers); err != nil {
+		return err
+	}
 	cfg := core.DefaultTrainerConfig()
 	cfg.Programs = *programs
 	cfg.TracesPerProgram = *traces
@@ -144,7 +163,7 @@ func runDemo(args []string) error {
 		fmt.Printf("training templates for %d classes (%d programs x %d traces)...\n",
 			len(classes), cfg.Programs, cfg.TracesPerProgram)
 		var err error
-		if d, err = core.TrainSubset(cfg, classes, true); err != nil {
+		if d, err = core.TrainSubsetCtx(ctx, cfg, classes, true); err != nil {
 			return err
 		}
 		if *saveTo != "" {
@@ -183,7 +202,7 @@ func runDemo(args []string) error {
 		if err != nil {
 			return err
 		}
-		decs, err := d.Disassemble(tr)
+		decs, err := d.DisassembleCtx(ctx, tr)
 		if err != nil {
 			return err
 		}
@@ -200,13 +219,18 @@ func runDemo(args []string) error {
 	return nil
 }
 
-func runDetect(args []string) error {
+func runDetect(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	programs, traces, seed, workers := campaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	parallel.SetWorkers(*workers)
+	if err := applyWorkers(*workers); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	sc := experiments.DefaultScale()
 	sc.Programs = *programs
 	sc.TracesPerProgram = *traces

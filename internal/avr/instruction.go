@@ -1,9 +1,23 @@
 package avr
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
+
+// Typed sentinels for instruction validation. Generators and the template
+// builder treat a wrapped ErrBadOperand/ErrBadClass as "this candidate is
+// malformed" without string matching, and the persistence layer uses
+// ValidClass to reject corrupted template files before a bad class value can
+// reach SpecOf (which panics on programmer error by design).
+var (
+	ErrBadClass   = errors.New("avr: invalid instruction class")
+	ErrBadOperand = errors.New("avr: operand out of range")
+)
+
+// ValidClass reports whether c is a defined instruction class.
+func ValidClass(c Class) bool { return int(c) < int(numClasses) }
 
 // Instruction is one concrete AVR instruction: a class plus operand values.
 // Unused operand fields are zero.
@@ -22,16 +36,16 @@ type Instruction struct {
 // Validate checks that every operand is within the encodable range for the
 // instruction class.
 func (in Instruction) Validate() error {
-	if int(in.Class) >= int(numClasses) {
-		return fmt.Errorf("avr: invalid class %d", in.Class)
+	if !ValidClass(in.Class) {
+		return fmt.Errorf("%w %d", ErrBadClass, in.Class)
 	}
 	sp := specs[in.Class]
 	checkRd := func(r uint8) error {
 		if r < sp.RdMin || r > sp.RdMax {
-			return fmt.Errorf("avr: %s: register r%d out of range [r%d, r%d]", sp.Name, r, sp.RdMin, sp.RdMax)
+			return fmt.Errorf("%w: %s: register r%d out of range [r%d, r%d]", ErrBadOperand, sp.Name, r, sp.RdMin, sp.RdMax)
 		}
 		if sp.RdEven && r%2 != 0 {
-			return fmt.Errorf("avr: %s: register r%d must be even", sp.Name, r)
+			return fmt.Errorf("%w: %s: register r%d must be even", ErrBadOperand, sp.Name, r)
 		}
 		return nil
 	}
@@ -41,10 +55,10 @@ func (in Instruction) Validate() error {
 			return err
 		}
 		if in.Rr > 31 {
-			return fmt.Errorf("avr: %s: source register r%d out of range", sp.Name, in.Rr)
+			return fmt.Errorf("%w: %s: source register r%d out of range", ErrBadOperand, sp.Name, in.Rr)
 		}
 		if in.Class == OpMOVW && in.Rr%2 != 0 {
-			return fmt.Errorf("avr: MOVW: source register r%d must be even", in.Rr)
+			return fmt.Errorf("%w: MOVW: source register r%d must be even", ErrBadOperand, in.Rr)
 		}
 	case OperandRdK:
 		if err := checkRd(in.Rd); err != nil {
@@ -55,7 +69,7 @@ func (in Instruction) Validate() error {
 			return err
 		}
 		if in.K > 63 {
-			return fmt.Errorf("avr: %s: immediate %d exceeds 6 bits", sp.Name, in.K)
+			return fmt.Errorf("%w: %s: immediate %d exceeds 6 bits", ErrBadOperand, sp.Name, in.K)
 		}
 	case OperandRd:
 		if err := checkRd(in.Rd); err != nil {
@@ -67,7 +81,7 @@ func (in Instruction) Validate() error {
 			lim = 2047
 		}
 		if in.Off < -lim-1 || in.Off > lim {
-			return fmt.Errorf("avr: %s: offset %d out of range ±%d", sp.Name, in.Off, lim)
+			return fmt.Errorf("%w: %s: offset %d out of range ±%d", ErrBadOperand, sp.Name, in.Off, lim)
 		}
 	case OperandAddr:
 		// JMP: 22-bit flash word address; we model 16 bits of it.
@@ -84,32 +98,32 @@ func (in Instruction) Validate() error {
 			return err
 		}
 		if in.Q > 63 {
-			return fmt.Errorf("avr: %s: displacement %d exceeds 6 bits", sp.Name, in.Q)
+			return fmt.Errorf("%w: %s: displacement %d exceeds 6 bits", ErrBadOperand, sp.Name, in.Q)
 		}
 	case OperandRrB:
 		if err := checkRd(in.regOperand()); err != nil {
 			return err
 		}
 		if in.B > 7 {
-			return fmt.Errorf("avr: %s: bit %d out of range", sp.Name, in.B)
+			return fmt.Errorf("%w: %s: bit %d out of range", ErrBadOperand, sp.Name, in.B)
 		}
 	case OperandAB:
 		if in.Addr > 31 {
-			return fmt.Errorf("avr: %s: I/O address %d exceeds 5 bits", sp.Name, in.Addr)
+			return fmt.Errorf("%w: %s: I/O address %d exceeds 5 bits", ErrBadOperand, sp.Name, in.Addr)
 		}
 		if in.B > 7 {
-			return fmt.Errorf("avr: %s: bit %d out of range", sp.Name, in.B)
+			return fmt.Errorf("%w: %s: bit %d out of range", ErrBadOperand, sp.Name, in.B)
 		}
 	case OperandSOff:
 		if in.S > 7 {
-			return fmt.Errorf("avr: %s: SREG bit %d out of range", sp.Name, in.S)
+			return fmt.Errorf("%w: %s: SREG bit %d out of range", ErrBadOperand, sp.Name, in.S)
 		}
 		if in.Off < -64 || in.Off > 63 {
-			return fmt.Errorf("avr: %s: offset %d out of range ±64", sp.Name, in.Off)
+			return fmt.Errorf("%w: %s: offset %d out of range ±64", ErrBadOperand, sp.Name, in.Off)
 		}
 	case OperandS:
 		if in.S > 7 {
-			return fmt.Errorf("avr: %s: SREG bit %d out of range", sp.Name, in.S)
+			return fmt.Errorf("%w: %s: SREG bit %d out of range", ErrBadOperand, sp.Name, in.S)
 		}
 	case OperandImplied, OperandNone:
 		// nothing to check

@@ -377,7 +377,10 @@ var specs = [numClasses]Spec{
 	OpNOP: {Name: "NOP", Group: GroupNone, Operands: OperandImplied, Words: 1, Cycles: 1},
 }
 
-// SpecOf returns the static description of class c.
+// SpecOf returns the static description of class c. It panics on an
+// undefined class — that is a programmer error on every internal path;
+// callers holding class values of external origin (persisted templates,
+// decoded words) must screen them with ValidClass first.
 func SpecOf(c Class) Spec {
 	if int(c) >= int(numClasses) {
 		panic(fmt.Sprintf("avr: invalid class %d", c))

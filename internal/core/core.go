@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/ml"
 	"repro/internal/parallel"
+	"repro/internal/power"
 )
 
 // ClassifierKind selects the classification algorithm at every level.
@@ -153,9 +155,16 @@ var ErrNotTrained = errors.New("core: disassembler not trained")
 // (group, instruction, Rd, Rr) through features.ExtractFromScalogram — the
 // levels differ only in which time–frequency points they read and how they
 // project them.
+//
+// The trace is validated first (power.ValidateTrace): a NaN/Inf, constant or
+// wrong-length capture is rejected with a typed error instead of silently
+// producing a garbage label.
 func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
 	if d.group.pipe == nil || d.group.clf == nil {
 		return Decoded{}, ErrNotTrained
+	}
+	if err := power.ValidateTrace(trace, d.group.pipe.TraceLen()); err != nil {
+		return Decoded{}, fmt.Errorf("core: rejecting trace: %w", err)
 	}
 	flat, err := d.group.pipe.RawScalogram(trace)
 	if err != nil {
@@ -250,13 +259,21 @@ func operandRegisters(k avr.OperandKind, c avr.Class) (rd, rr bool) {
 // parallel.Workers() pool; the output (and, on failure, the decoded prefix
 // plus the lowest-index error) is identical to classifying serially.
 func (d *Disassembler) Disassemble(traces [][]float64) ([]Decoded, error) {
+	return d.DisassembleCtx(context.Background(), traces)
+}
+
+// DisassembleCtx is Disassemble with cooperative cancellation. On a
+// classification failure the decoded prefix plus the lowest-index error are
+// returned, exactly like the serial flow; on cancellation the scheduling of
+// new traces stops and the call returns a nil listing with ctx.Err().
+func (d *Disassembler) DisassembleCtx(ctx context.Context, traces [][]float64) ([]Decoded, error) {
 	out := make([]Decoded, len(traces))
 	var (
 		mu       sync.Mutex
 		failIdx  = len(traces)
 		failWith error
 	)
-	parallel.For(len(traces), func(i int) {
+	ctxErr := parallel.ForCtx(ctx, len(traces), func(i int) {
 		dec, err := d.Classify(traces[i])
 		if err != nil {
 			mu.Lock()
@@ -270,6 +287,9 @@ func (d *Disassembler) Disassemble(traces [][]float64) ([]Decoded, error) {
 	})
 	if failWith != nil {
 		return out[:failIdx], fmt.Errorf("core: trace %d: %w", failIdx, failWith)
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	return out, nil
 }

@@ -20,6 +20,12 @@ import (
 // templateFormatVersion guards against loading incompatible files.
 const templateFormatVersion = 1
 
+// ErrTemplateFormat is wrapped into every Load failure caused by the
+// template file itself — truncated or corrupted gob data, an unknown format
+// version, or decoded state that fails validation. Callers distinguish "bad
+// file" from I/O errors with errors.Is.
+var ErrTemplateFormat = errors.New("core: invalid template file")
+
 // levelState is one (pipeline, classifier) pair in serialized form.
 // Present distinguishes trained levels (gob cannot carry nil array
 // elements, so levels are stored by value).
@@ -96,35 +102,51 @@ func (d *Disassembler) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&st)
 }
 
-// Load reads a template set previously written with Save.
+// Load reads a template set previously written with Save. A defective file —
+// truncated or bit-flipped gob data, a format version this build does not
+// know, class tables holding undefined instruction classes, or snapshot
+// state that fails reconstruction — yields a descriptive error wrapping
+// ErrTemplateFormat and never a panic or a partially initialized
+// Disassembler.
 func Load(r io.Reader) (*Disassembler, error) {
 	var st disassemblerState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("core: decoding templates: %w", err)
+		return nil, fmt.Errorf("%w: decoding gob stream (truncated or corrupted?): %w", ErrTemplateFormat, err)
 	}
 	if st.Version != templateFormatVersion {
-		return nil, fmt.Errorf("core: template format version %d, want %d", st.Version, templateFormatVersion)
+		if st.Version > templateFormatVersion {
+			return nil, fmt.Errorf("%w: format version %d is newer than this build supports (%d) — upgrade the tool",
+				ErrTemplateFormat, st.Version, templateFormatVersion)
+		}
+		return nil, fmt.Errorf("%w: format version %d, want %d", ErrTemplateFormat, st.Version, templateFormatVersion)
 	}
 	d := &Disassembler{haveRegs: st.HaveRegs}
 	var err error
 	if d.group, err = restoreLevel(st.Group); err != nil {
-		return nil, fmt.Errorf("core: restoring group level: %w", err)
+		return nil, fmt.Errorf("%w: restoring group level: %w", ErrTemplateFormat, err)
 	}
 	if d.group.pipe == nil {
-		return nil, errors.New("core: template file lacks a group level")
+		return nil, fmt.Errorf("%w: file lacks a group level", ErrTemplateFormat)
 	}
 	for i := range d.instr {
 		if d.instr[i], err = restoreLevel(st.Instr[i]); err != nil {
-			return nil, fmt.Errorf("core: restoring group %d level: %w", i+1, err)
+			return nil, fmt.Errorf("%w: restoring group %d level: %w", ErrTemplateFormat, i+1, err)
+		}
+		// Class tables index into avr.SpecOf at classification time; screen
+		// them here so a corrupted file cannot smuggle in a panic.
+		for _, c := range st.InstrClass[i] {
+			if !avr.ValidClass(c) {
+				return nil, fmt.Errorf("%w: group %d class table holds undefined class %d", ErrTemplateFormat, i+1, c)
+			}
 		}
 		d.instrClass[i] = st.InstrClass[i]
 	}
 	if st.HaveRegs {
 		if d.rd, err = restoreLevel(st.Rd); err != nil {
-			return nil, fmt.Errorf("core: restoring Rd level: %w", err)
+			return nil, fmt.Errorf("%w: restoring Rd level: %w", ErrTemplateFormat, err)
 		}
 		if d.rr, err = restoreLevel(st.Rr); err != nil {
-			return nil, fmt.Errorf("core: restoring Rr level: %w", err)
+			return nil, fmt.Errorf("%w: restoring Rr level: %w", ErrTemplateFormat, err)
 		}
 	}
 	return d, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,6 +72,10 @@ type TrainReport struct {
 	RrTrainAccuracy    float64
 	GroupPoints        int
 	InstrPoints        [avr.NumGroups]int
+	// Validation aggregates the per-trace ingestion checks across every
+	// level's dataset: how many traces were examined and how many were
+	// rejected (non-finite, constant, wrong length) before fitting.
+	Validation power.ValidationReport
 }
 
 // Train runs the full acquisition + template-building flow of Fig. 1 on the
@@ -83,6 +88,14 @@ type TrainReport struct {
 // are identical to a serial run. On failure the lowest-ordered job's error
 // is reported, matching the serial flow.
 func Train(cfg TrainerConfig) (*Disassembler, *TrainReport, error) {
+	return TrainCtx(context.Background(), cfg)
+}
+
+// TrainCtx is Train with cooperative cancellation: the eleven jobs stop being
+// scheduled once ctx is cancelled, jobs already running stop at their next
+// pipeline stage, and the call returns ctx.Err() (a job's own error at a
+// lower index still wins, per parallel.ForErrCtx).
+func TrainCtx(ctx context.Context, cfg TrainerConfig) (*Disassembler, *TrainReport, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -93,72 +106,89 @@ func Train(cfg TrainerConfig) (*Disassembler, *TrainReport, error) {
 	d := &Disassembler{}
 	rep := &TrainReport{}
 
-	var jobs []func() error
+	var jobs []func() (power.ValidationReport, error)
 	// Level 1: the 8-group classifier.
-	jobs = append(jobs, func() error {
+	jobs = append(jobs, func() (vr power.ValidationReport, err error) {
 		groupDS, err := camp.CollectGroups(cfg.Programs, cfg.TracesPerProgram)
 		if err != nil {
-			return fmt.Errorf("core: group acquisition: %w", err)
+			return vr, fmt.Errorf("core: group acquisition: %w", err)
 		}
-		if d.group, rep.GroupTrainAccuracy, err = fitLevel(groupDS, avr.NumGroups, cfg); err != nil {
-			return fmt.Errorf("core: group level: %w", err)
+		if d.group, rep.GroupTrainAccuracy, vr, err = fitLevel(ctx, groupDS, avr.NumGroups, cfg); err != nil {
+			return vr, fmt.Errorf("core: group level: %w", err)
 		}
 		rep.GroupPoints = d.group.pipe.NumPoints()
-		return nil
+		return vr, nil
 	})
 	// Level 2: per-group instruction classifiers.
 	for g := avr.Group1; g <= avr.Group8; g++ {
 		g := g
-		jobs = append(jobs, func() error {
+		jobs = append(jobs, func() (vr power.ValidationReport, err error) {
 			classes := avr.ClassesInGroup(g)
 			ds, err := camp.CollectClasses(classes, cfg.Programs, cfg.TracesPerProgram)
 			if err != nil {
-				return fmt.Errorf("core: group %d acquisition: %w", g, err)
+				return vr, fmt.Errorf("core: group %d acquisition: %w", g, err)
 			}
 			gi := int(g - avr.Group1)
-			if d.instr[gi], rep.InstrTrainAccuracy[gi], err = fitLevel(ds, len(classes), cfg); err != nil {
-				return fmt.Errorf("core: group %d level: %w", g, err)
+			if d.instr[gi], rep.InstrTrainAccuracy[gi], vr, err = fitLevel(ctx, ds, len(classes), cfg); err != nil {
+				return vr, fmt.Errorf("core: group %d level: %w", g, err)
 			}
 			d.instrClass[gi] = classes
 			rep.InstrPoints[gi] = d.instr[gi].pipe.NumPoints()
-			return nil
+			return vr, nil
 		})
 	}
 	// Level 3: register classifiers.
 	withRegs := cfg.RegisterPrograms > 0 && cfg.RegisterTracesPerProgram > 0
 	if withRegs {
-		jobs = append(jobs, func() error {
+		jobs = append(jobs, func() (vr power.ValidationReport, err error) {
 			rdDS, err := camp.CollectRegisters(true, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
 			if err != nil {
-				return fmt.Errorf("core: Rd acquisition: %w", err)
+				return vr, fmt.Errorf("core: Rd acquisition: %w", err)
 			}
-			if d.rd, rep.RdTrainAccuracy, err = fitLevel(rdDS, 32, cfg); err != nil {
-				return fmt.Errorf("core: Rd level: %w", err)
+			if d.rd, rep.RdTrainAccuracy, vr, err = fitLevel(ctx, rdDS, 32, cfg); err != nil {
+				return vr, fmt.Errorf("core: Rd level: %w", err)
 			}
-			return nil
-		}, func() error {
+			return vr, nil
+		}, func() (vr power.ValidationReport, err error) {
 			rrDS, err := camp.CollectRegisters(false, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
 			if err != nil {
-				return fmt.Errorf("core: Rr acquisition: %w", err)
+				return vr, fmt.Errorf("core: Rr acquisition: %w", err)
 			}
-			if d.rr, rep.RrTrainAccuracy, err = fitLevel(rrDS, 32, cfg); err != nil {
-				return fmt.Errorf("core: Rr level: %w", err)
+			if d.rr, rep.RrTrainAccuracy, vr, err = fitLevel(ctx, rrDS, 32, cfg); err != nil {
+				return vr, fmt.Errorf("core: Rr level: %w", err)
 			}
-			return nil
+			return vr, nil
 		})
 	}
-	if err := parallel.ForErr(len(jobs), func(i int) error { return jobs[i]() }); err != nil {
+	// Each job writes its validation report into its own slot; the merge
+	// below runs serially in job order, so the aggregate is deterministic.
+	reports := make([]power.ValidationReport, len(jobs))
+	if err := parallel.ForErrCtx(ctx, len(jobs), func(i int) error {
+		vr, err := jobs[i]()
+		reports[i] = vr
+		return err
+	}); err != nil {
 		return nil, nil, err
+	}
+	for _, vr := range reports {
+		rep.Validation.Merge(vr)
 	}
 	d.haveRegs = withRegs
 	return d, rep, nil
 }
 
 // fitLevel fits one pipeline + classifier pair on a dataset and reports the
-// training-set accuracy. The PCA dimensionality is clamped below the
-// smallest per-class sample count so the QDA/LDA covariance estimates stay
-// well conditioned even at reduced trace counts.
-func fitLevel(ds *power.Dataset, nClasses int, cfg TrainerConfig) (groupLevel, float64, error) {
+// training-set accuracy. Ingestion first sanitizes the dataset — defective
+// traces (non-finite, constant, wrong length against the configured
+// TraceLen) are rejected per-trace and counted in the returned report, so a
+// few bad captures never abort or poison a level. The PCA dimensionality is
+// clamped below the smallest per-class sample count so the QDA/LDA
+// covariance estimates stay well conditioned even at reduced trace counts.
+func fitLevel(ctx context.Context, ds *power.Dataset, nClasses int, cfg TrainerConfig) (groupLevel, float64, power.ValidationReport, error) {
+	ds, vrep := ds.Sanitize(cfg.Power.TraceLen)
+	if ds.Len() == 0 {
+		return groupLevel{}, 0, vrep, fmt.Errorf("core: every trace rejected at ingestion (%s)", vrep)
+	}
 	counts := make([]int, nClasses)
 	for _, l := range ds.Labels {
 		if l >= 0 && l < nClasses {
@@ -175,32 +205,37 @@ func fitLevel(ds *power.Dataset, nClasses int, cfg TrainerConfig) (groupLevel, f
 	if maxDim := minCount/2 + 1; pcfg.NumComponents > maxDim {
 		pcfg.NumComponents = maxDim
 	}
-	pipe, err := features.FitPipeline(ds.Traces, ds.Labels, ds.Programs, nClasses, pcfg)
+	pipe, err := features.FitPipelineCtx(ctx, ds.Traces, ds.Labels, ds.Programs, nClasses, pcfg)
 	if err != nil {
-		return groupLevel{}, 0, err
+		return groupLevel{}, 0, vrep, err
 	}
-	X, err := pipe.ExtractAll(ds.Traces)
+	X, err := pipe.ExtractAllCtx(ctx, ds.Traces)
 	if err != nil {
-		return groupLevel{}, 0, err
+		return groupLevel{}, 0, vrep, err
 	}
 	clf, err := NewClassifier(cfg.Classifier)
 	if err != nil {
-		return groupLevel{}, 0, err
+		return groupLevel{}, 0, vrep, err
 	}
 	if err := clf.Fit(X, ds.Labels); err != nil {
-		return groupLevel{}, 0, err
+		return groupLevel{}, 0, vrep, err
 	}
 	acc, err := ml.EvaluateAccuracy(clf, X, ds.Labels)
 	if err != nil {
-		return groupLevel{}, 0, err
+		return groupLevel{}, 0, vrep, err
 	}
-	return groupLevel{pipe: pipe, clf: clf}, acc, nil
+	return groupLevel{pipe: pipe, clf: clf}, acc, vrep, nil
 }
 
 // TrainSubset trains a disassembler restricted to the given classes (still
 // hierarchical: groups that appear among the classes get instruction
 // classifiers). Useful for quick demonstrations and the examples.
 func TrainSubset(cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*Disassembler, error) {
+	return TrainSubsetCtx(context.Background(), cfg, classes, withRegisters)
+}
+
+// TrainSubsetCtx is TrainSubset with cooperative cancellation (see TrainCtx).
+func TrainSubsetCtx(ctx context.Context, cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*Disassembler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -220,7 +255,7 @@ func TrainSubset(cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*D
 		if err != nil {
 			return err
 		}
-		d.group, _, err = fitLevel(groupDS, avr.NumGroups, cfg)
+		d.group, _, _, err = fitLevel(ctx, groupDS, avr.NumGroups, cfg)
 		return err
 	})
 
@@ -249,7 +284,7 @@ func TrainSubset(cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*D
 			if err != nil {
 				return err
 			}
-			if d.instr[gi], _, err = fitLevel(ds, len(cls), cfg); err != nil {
+			if d.instr[gi], _, _, err = fitLevel(ctx, ds, len(cls), cfg); err != nil {
 				return err
 			}
 			d.instrClass[gi] = cls
@@ -264,18 +299,18 @@ func TrainSubset(cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*D
 			if err != nil {
 				return err
 			}
-			d.rd, _, err = fitLevel(rdDS, 32, cfg)
+			d.rd, _, _, err = fitLevel(ctx, rdDS, 32, cfg)
 			return err
 		}, func() error {
 			rrDS, err := camp.CollectRegisters(false, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
 			if err != nil {
 				return err
 			}
-			d.rr, _, err = fitLevel(rrDS, 32, cfg)
+			d.rr, _, _, err = fitLevel(ctx, rrDS, 32, cfg)
 			return err
 		})
 	}
-	if err := parallel.ForErr(len(jobs), func(i int) error { return jobs[i]() }); err != nil {
+	if err := parallel.ForErrCtx(ctx, len(jobs), func(i int) error { return jobs[i]() }); err != nil {
 		return nil, err
 	}
 	d.haveRegs = withRegs

@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -249,6 +250,14 @@ func (c *CWT) transformInto(x []float64, flat []float64) {
 // The result is index-aligned with xs and identical to calling TransformFlat
 // per trace. All traces must share one length.
 func (c *CWT) TransformFlatBatch(xs [][]float64) ([][]float64, error) {
+	return c.TransformFlatBatchCtx(context.Background(), xs)
+}
+
+// TransformFlatBatchCtx is TransformFlatBatch with cooperative cancellation:
+// once ctx is cancelled no new (trace) or (trace, scale) task starts and the
+// call returns ctx.Err(). Cancellation latency is bounded by one FFT /
+// convolution row, not by the batch size.
+func (c *CWT) TransformFlatBatchCtx(ctx context.Context, xs [][]float64) ([][]float64, error) {
 	out := make([][]float64, len(xs))
 	if len(xs) == 0 {
 		return out, nil
@@ -266,21 +275,32 @@ func (c *CWT) TransformFlatBatch(xs [][]float64) ([][]float64, error) {
 	p := c.planFor(n)
 	// Phase 1: one forward FFT per trace, parallel over traces.
 	fxs := make([][]complex128, len(xs))
-	parallel.For(len(xs), func(i int) {
+	release := func() {
+		for _, fx := range fxs {
+			if fx != nil {
+				c.putBuf(fx)
+			}
+		}
+	}
+	if err := parallel.ForCtx(ctx, len(xs), func(i int) {
 		fxs[i] = c.forwardFFT(xs[i], p)
-	})
+	}); err != nil {
+		release()
+		return nil, err
+	}
 	// Phase 2: one task per (trace, scale) pair — fine enough granularity to
 	// keep every worker busy whether the batch is wide or the bank is deep.
 	nScales := len(c.scales)
-	parallel.For(len(xs)*nScales, func(t int) {
+	if err := parallel.ForCtx(ctx, len(xs)*nScales, func(t int) {
 		i, j := t/nScales, t%nScales
 		prod := c.getBuf(p.m)
 		c.row(fxs[i], p, j, n, out[i][j*n:(j+1)*n], prod)
 		c.putBuf(prod)
-	})
-	for _, fx := range fxs {
-		c.putBuf(fx)
+	}); err != nil {
+		release()
+		return nil, err
 	}
+	release()
 	transformCount.Add(uint64(len(xs)))
 	return out, nil
 }

@@ -212,11 +212,11 @@ func Fig2(sc Scale) (*Fig2Result, error) {
 		return nil, err
 	}
 	res.PeakCount = len(features.LocalMaxima2D(klMap))
-	maskADC, err := sel.NotVaryingMask(perProg[0])
+	maskADC, _, err := sel.NotVaryingMask(perProg[0])
 	if err != nil {
 		return nil, err
 	}
-	maskAND, err := sel.NotVaryingMask(perProg[1])
+	maskAND, _, err := sel.NotVaryingMask(perProg[1])
 	if err != nil {
 		return nil, err
 	}
@@ -333,7 +333,7 @@ func Fig3(sc Scale) (*Fig3Result, error) {
 	}
 	worst := peaks[:3] // 3 highest peaks (program sensitive)
 	// Best: the 3 strongest peaks that also pass the AND not-varying mask.
-	mask, err := sel.NotVaryingMask(perProgAND)
+	mask, _, err := sel.NotVaryingMask(perProgAND)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,12 @@
 package features
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -153,9 +156,12 @@ func TestNotVaryingMaskFlagsOffsetSensitivePoints(t *testing.T) {
 		}
 		perProg[p] = ps
 	}
-	mask, err := sel.NotVaryingMask(perProg)
+	mask, skipped, err := sel.NotVaryingMask(perProg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("healthy data skipped %d points", skipped)
 	}
 	varying := 0
 	for _, ok := range mask {
@@ -169,7 +175,7 @@ func TestNotVaryingMaskFlagsOffsetSensitivePoints(t *testing.T) {
 	if varying == len(mask) {
 		t.Fatal("not every point should be varying")
 	}
-	if _, err := sel.NotVaryingMask(map[int]*PointStats{0: NewPointStats(sel.numPoints())}); err == nil {
+	if _, _, err := sel.NotVaryingMask(map[int]*PointStats{0: NewPointStats(sel.numPoints())}); err == nil {
 		t.Fatal("want error for single program")
 	}
 }
@@ -402,5 +408,154 @@ func TestNormalizeTraceIdempotentOnFeatures(t *testing.T) {
 		if math.Abs(once[i]-twice[i]) > 1e-9 {
 			t.Fatal("per-trace normalization should be idempotent")
 		}
+	}
+}
+
+// Satellite regression: a NaN-contaminated program population must not
+// silently flip mask points to "varying" — the points are counted as skipped
+// and reported, and fully-degenerate statistics are a typed error.
+func TestNotVaryingMaskReportsNaNPoints(t *testing.T) {
+	sel, err := NewSelector(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel.TraceLen = 4
+	n := sel.numPoints()
+	mk := func() *PointStats {
+		ps := NewPointStats(n)
+		flat := make([]float64, n)
+		for i := range flat {
+			flat[i] = float64(i % 7)
+		}
+		for k := 0; k < 3; k++ {
+			for i := range flat {
+				flat[i] += 0.001 * float64(k)
+			}
+			if err := ps.Add(flat); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ps
+	}
+	a, b := mk(), mk()
+	// Poison two points of one program's statistics.
+	a.Sum[0] = math.NaN()
+	a.Sum[5] = math.Inf(1)
+	mask, skipped, err := sel.NotVaryingMask(map[int]*PointStats{0: a, 1: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if mask[0] || mask[5] {
+		t.Fatal("poisoned points must not be certified as not-varying")
+	}
+	ok := 0
+	for _, m := range mask {
+		if m {
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Fatal("healthy points should still pass the mask")
+	}
+
+	// Fully poisoned statistics: typed degenerate error, no mask.
+	for i := range a.Sum {
+		a.Sum[i] = math.NaN()
+	}
+	if _, _, err := sel.NotVaryingMask(map[int]*PointStats{0: a, 1: b}); !errors.Is(err, stats.ErrDegenerate) {
+		t.Fatalf("all-NaN stats err = %v, want stats.ErrDegenerate", err)
+	}
+}
+
+func TestFitPCARejectsNonFinite(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, math.NaN()}, {5, 6}}
+	if _, err := FitPCA(X, 2); !errors.Is(err, stats.ErrDegenerate) {
+		t.Fatalf("FitPCA err = %v, want stats.ErrDegenerate", err)
+	}
+}
+
+// A constant input column is a zero-variance principal direction; FitPCA must
+// drop it rather than keep a round-off eigenvector, and Transform output must
+// stay finite.
+func TestFitPCADropsZeroVarianceComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	X := make([][]float64, 40)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), 7.5, rng.NormFloat64() * 2}
+	}
+	pc, err := FitPCA(X, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.NumComponents() != 2 {
+		t.Fatalf("NumComponents = %d, want 2 (one constant column)", pc.NumComponents())
+	}
+	for _, v := range pc.EigVals {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("kept eigenvalue %v not positive", v)
+		}
+	}
+	y, err := pc.Transform(X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AllFinite(y) {
+		t.Fatalf("Transform produced non-finite output %v", y)
+	}
+}
+
+func TestPCATransformRejectsCorruptedMean(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 7}}
+	pc, err := FitPCA(X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc.Mean = pc.Mean[:1] // simulate a truncated persisted state
+	if _, err := pc.Transform([]float64{1, 2}); err == nil {
+		t.Fatal("want error for corrupted mean, got nil")
+	}
+}
+
+// FitPipelineCtx must return context.Canceled promptly when cancelled
+// mid-fit on a large dataset, not run the fit to completion.
+func TestFitPipelineCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	traces, labels, programs := synthDataset(rng, 60, 3, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultPipelineConfig()
+	cfg.NumComponents = 3
+	start := time.Now()
+	_, err := FitPipelineCtx(ctx, traces, labels, programs, 2, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A pre-cancelled fit must return almost immediately — far faster than
+	// the 360-trace CWT pass it skipped.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled fit took %v", elapsed)
+	}
+
+	// And a live context still fits.
+	pl, err := FitPipelineCtx(context.Background(), traces, labels, programs, 2, cfg)
+	if err != nil || pl == nil {
+		t.Fatalf("live-context fit failed: %v", err)
+	}
+}
+
+func TestExtractAllCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	traces, labels, programs := synthDataset(rng, 10, 2, false)
+	pl, err := FitPipeline(traces, labels, programs, 2, DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pl.ExtractAllCtx(ctx, traces); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

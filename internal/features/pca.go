@@ -3,8 +3,11 @@ package features
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/linalg"
+
+	"repro/internal/stats"
 )
 
 // PCA projects feature vectors onto the leading principal components of the
@@ -22,13 +25,23 @@ type PCA struct {
 const jacobiMaxDim = 400
 
 // FitPCA learns a k-component PCA from rows of X. k is clamped to the
-// number of dimensions.
+// number of dimensions, and additionally to the number of components with
+// strictly positive variance (keeping at least one): a zero-variance
+// direction carries no signal and its eigenvector is numerically arbitrary,
+// so retaining it would make the projection depend on round-off. Non-finite
+// training features are rejected with a stats.ErrDegenerate wrapped error —
+// a single NaN would otherwise contaminate the whole covariance.
 func FitPCA(X [][]float64, k int) (*PCA, error) {
 	if len(X) < 2 {
 		return nil, errors.New("features: PCA needs at least 2 samples")
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("features: PCA needs k >= 1, got %d", k)
+	}
+	for i, row := range X {
+		if !stats.AllFinite(row) {
+			return nil, fmt.Errorf("features: PCA row %d: %w: non-finite feature", i, stats.ErrDegenerate)
+		}
 	}
 	M, err := linalg.FromRows(X)
 	if err != nil {
@@ -40,7 +53,11 @@ func FitPCA(X [][]float64, k int) (*PCA, error) {
 	}
 	mu := linalg.Mean(M)
 	if p > jacobiMaxDim {
-		return fitPCASubspace(M, mu, k)
+		pc, err := fitPCASubspace(M, mu, k)
+		if err != nil {
+			return nil, err
+		}
+		return pc.dropZeroVariance(), nil
 	}
 	cov, err := linalg.Covariance(M, mu)
 	if err != nil {
@@ -56,7 +73,38 @@ func FitPCA(X [][]float64, k int) (*PCA, error) {
 			comp.Set(c, r, V.At(r, c))
 		}
 	}
-	return &PCA{Mean: mu, Components: comp, EigVals: vals[:k]}, nil
+	return (&PCA{Mean: mu, Components: comp, EigVals: vals[:k]}).dropZeroVariance(), nil
+}
+
+// zeroVarEps is the eigenvalue threshold below which a principal direction is
+// treated as zero-variance and dropped by dropZeroVariance.
+const zeroVarEps = 1e-12
+
+// dropZeroVariance truncates the component set after the last direction with
+// variance above zeroVarEps. Eigenvalues arrive sorted descending (EigenSym)
+// or near-descending (subspace iteration), so this only trims the degenerate
+// tail; at least one component is always kept.
+func (pc *PCA) dropZeroVariance() *PCA {
+	keep := 0
+	for _, v := range pc.EigVals {
+		if v > zeroVarEps && !math.IsNaN(v) {
+			keep++
+		} else {
+			break
+		}
+	}
+	if keep == 0 {
+		keep = 1
+	}
+	if keep == len(pc.EigVals) {
+		return pc
+	}
+	p := pc.Components.Cols
+	comp := linalg.NewMatrix(keep, p)
+	copy(comp.Data, pc.Components.Data[:keep*p])
+	pc.Components = comp
+	pc.EigVals = pc.EigVals[:keep]
+	return pc
 }
 
 // fitPCASubspace computes the leading k principal components by block power
@@ -174,6 +222,9 @@ func (pc *PCA) Transform(x []float64) ([]float64, error) {
 	p := pc.InputDim()
 	if len(x) != p {
 		return nil, fmt.Errorf("features: PCA input dim %d, want %d", len(x), p)
+	}
+	if len(pc.Mean) != p {
+		return nil, fmt.Errorf("%w: PCA mean length %d, components expect %d", linalg.ErrShape, len(pc.Mean), p)
 	}
 	centered := make([]float64, p)
 	for i := range x {

@@ -1,6 +1,7 @@
 package features
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -81,6 +82,10 @@ type Pipeline struct {
 	z        *stats.ZScoreNormalizer
 	pca      *PCA
 	nClasses int
+	// MaskSkipped counts time–frequency points dropped from the not-varying
+	// masks because their within-class divergence was non-finite (see
+	// Selector.NotVaryingMask). Zero on healthy data.
+	MaskSkipped int
 }
 
 // FitPipeline learns the full extraction chain from labeled traces.
@@ -92,6 +97,16 @@ type Pipeline struct {
 // feature pass. The CWT, the O(nClasses²) pairwise DNVP selection and the
 // feature pass all run on the parallel.Workers() pool.
 func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg PipelineConfig) (*Pipeline, error) {
+	return FitPipelineCtx(context.Background(), traces, labels, programs, nClasses, cfg)
+}
+
+// FitPipelineCtx is FitPipeline with cooperative cancellation: between every
+// chunk of CWT work, every mask, every selection pair and every feature
+// extraction, ctx is consulted and a cancelled context surfaces promptly as
+// ctx.Err() (workers already running finish their current trace first). The
+// fitted result is unaffected by cancellation timing — a non-nil Pipeline is
+// only returned when every stage completed.
+func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []int, nClasses int, cfg PipelineConfig) (*Pipeline, error) {
 	if len(traces) == 0 || len(traces) != len(labels) || len(traces) != len(programs) {
 		return nil, errors.New("features: FitPipeline needs equal-length traces/labels/programs")
 	}
@@ -140,7 +155,7 @@ func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg P
 		if hi > n {
 			hi = n
 		}
-		sub, err := sel.CWT.TransformFlatBatch(traces[lo:hi])
+		sub, err := sel.CWT.TransformFlatBatchCtx(ctx, traces[lo:hi])
 		if err != nil {
 			return nil, err
 		}
@@ -172,11 +187,15 @@ func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg P
 	masks := make([][]bool, nClasses)
 	if cfg.UseMask {
 		for c := 0; c < nClasses; c++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if len(perProgram[c]) >= 2 {
-				m, err := sel.NotVaryingMask(perProgram[c])
+				m, skipped, err := sel.NotVaryingMask(perProgram[c])
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("features: not-varying mask for class %d: %w", c, err)
 				}
+				pl.MaskSkipped += skipped
 				masks[c] = m
 			}
 		}
@@ -195,7 +214,7 @@ func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg P
 		}
 	}
 	pairs := make([]PairFeatures, len(jobs))
-	if err := parallel.ForErr(len(jobs), func(i int) error {
+	if err := parallel.ForErrCtx(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		pf, err := sel.SelectPair(j.a, j.b, classStats[j.a], classStats[j.b], masks[j.a], masks[j.b])
 		if err != nil {
@@ -226,11 +245,13 @@ func FitPipeline(traces [][]float64, labels, programs []int, nClasses int, cfg P
 	// without the cache the scalograms are recomputed in parallel.
 	feats := make([][]float64, n)
 	if useCache {
-		parallel.For(n, func(i int) {
+		if err := parallel.ForCtx(ctx, n, func(i int) {
 			feats[i] = pl.pointsFromNormalized(flats[i])
-		})
+		}); err != nil {
+			return nil, err
+		}
 	} else {
-		if err := parallel.ForErr(n, func(i int) error {
+		if err := parallel.ForErrCtx(ctx, n, func(i int) error {
 			f, err := pl.rawFeatures(traces[i])
 			if err != nil {
 				return err
@@ -355,8 +376,13 @@ func (pl *Pipeline) ExtractFromScalogram(flat []float64) ([]float64, error) {
 // parallel.Workers() pool. The result is index-aligned with traces and
 // identical to serial per-trace Extract calls.
 func (pl *Pipeline) ExtractAll(traces [][]float64) ([][]float64, error) {
+	return pl.ExtractAllCtx(context.Background(), traces)
+}
+
+// ExtractAllCtx is ExtractAll with cooperative cancellation.
+func (pl *Pipeline) ExtractAllCtx(ctx context.Context, traces [][]float64) ([][]float64, error) {
 	out := make([][]float64, len(traces))
-	if err := parallel.ForErr(len(traces), func(i int) error {
+	if err := parallel.ForErrCtx(ctx, len(traces), func(i int) error {
 		f, err := pl.Extract(traces[i])
 		if err != nil {
 			return err

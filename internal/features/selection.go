@@ -186,9 +186,16 @@ func LocalMaxima2D(m [][]float64) []Point {
 // noise), the mask thresholds the *mean* debiased divergence across program
 // pairs; averaging over pairs shrinks the noise while preserving the
 // systematic program-to-program shift the mask is meant to detect.
-func (s *Selector) NotVaryingMask(perProgram map[int]*PointStats) ([]bool, error) {
+//
+// A point whose accumulated divergence is NaN or ±Inf (a NaN CWT coefficient
+// that slipped past ingestion, an overflowed moment) cannot be certified as
+// not-varying; it is conservatively masked out (false) and counted in
+// skipped, so callers can report how many points were dropped. If every
+// point is skipped the statistics are unusable and a stats.ErrDegenerate
+// wrapped error is returned instead of an all-false mask.
+func (s *Selector) NotVaryingMask(perProgram map[int]*PointStats) (mask []bool, skipped int, err error) {
 	if len(perProgram) < 2 {
-		return nil, errors.New("features: not-varying mask needs >= 2 programs")
+		return nil, 0, errors.New("features: not-varying mask needs >= 2 programs")
 	}
 	ids := make([]int, 0, len(perProgram))
 	for id := range perProgram {
@@ -202,10 +209,10 @@ func (s *Selector) NotVaryingMask(perProgram map[int]*PointStats) ([]bool, error
 		for b := a + 1; b < len(ids); b++ {
 			pa, pb := perProgram[ids[a]], perProgram[ids[b]]
 			if len(pa.Sum) != n || len(pb.Sum) != n {
-				return nil, errors.New("features: per-program stats dimensionality mismatch")
+				return nil, 0, errors.New("features: per-program stats dimensionality mismatch")
 			}
 			if pa.N < 2 || pb.N < 2 {
-				return nil, errors.New("features: per-program stats need >= 2 traces")
+				return nil, 0, errors.New("features: per-program stats need >= 2 traces")
 			}
 			bias := 1/float64(pa.N) + 1/float64(pb.N)
 			for i := 0; i < n; i++ {
@@ -214,11 +221,19 @@ func (s *Selector) NotVaryingMask(perProgram map[int]*PointStats) ([]bool, error
 			pairs++
 		}
 	}
-	mask := make([]bool, n)
+	mask = make([]bool, n)
 	for i := range mask {
-		mask[i] = acc[i]/float64(pairs) < s.KLth
+		m := acc[i] / float64(pairs)
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			skipped++ // non-finite divergence: cannot certify, leave false
+			continue
+		}
+		mask[i] = m < s.KLth
 	}
-	return mask, nil
+	if skipped == n {
+		return nil, skipped, fmt.Errorf("%w: every within-class divergence is non-finite", stats.ErrDegenerate)
+	}
+	return mask, skipped, nil
 }
 
 // PairFeatures holds the selection result for one class pair.

@@ -21,7 +21,7 @@ type Cholesky struct {
 // singular or indefinite), ErrNotPositiveDefinite is returned.
 func NewCholesky(a *Matrix) (*Cholesky, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+		return nil, fmt.Errorf("%w: Cholesky of non-square %dx%d matrix", ErrShape, a.Rows, a.Cols)
 	}
 	n := a.Rows
 	l := NewMatrix(n, n)
@@ -86,7 +86,7 @@ func RegularizedCholesky(a *Matrix, baseEps float64) (*Cholesky, float64, error)
 // SolveVec solves A·x = b using the factorization.
 func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
 	if len(b) != c.n {
-		return nil, fmt.Errorf("linalg: SolveVec length %d != order %d", len(b), c.n)
+		return nil, fmt.Errorf("%w: SolveVec length %d != order %d", ErrShape, len(b), c.n)
 	}
 	// Forward substitution L·y = b.
 	y := make([]float64, c.n)
@@ -141,7 +141,7 @@ func (c *Cholesky) Inverse() (*Matrix, error) {
 // MahalanobisSq returns (x-mu)ᵀ A⁻¹ (x-mu) for the factorized A.
 func (c *Cholesky) MahalanobisSq(x, mu []float64) (float64, error) {
 	if len(x) != c.n || len(mu) != c.n {
-		return 0, fmt.Errorf("linalg: MahalanobisSq length mismatch (%d,%d) != %d", len(x), len(mu), c.n)
+		return 0, fmt.Errorf("%w: MahalanobisSq lengths (%d,%d) != %d", ErrShape, len(x), len(mu), c.n)
 	}
 	// Solve L·y = (x-mu); then the quadratic form is ‖y‖².
 	y := make([]float64, c.n)
@@ -160,7 +160,26 @@ func (c *Cholesky) MahalanobisSq(x, mu []float64) (float64, error) {
 }
 
 // CholeskyFromFactor wraps an existing lower-triangular factor L (e.g. one
-// restored from persisted classifier state) as a usable factorization.
-func CholeskyFromFactor(L *Matrix) *Cholesky {
-	return &Cholesky{L: L, n: L.Rows}
+// restored from persisted classifier state) as a usable factorization. The
+// factor is validated — square shape, finite entries, strictly positive
+// diagonal — because a corrupted template file would otherwise smuggle
+// NaN/zero pivots into every later solve (the old panic-or-poison path).
+func CholeskyFromFactor(L *Matrix) (*Cholesky, error) {
+	if L == nil {
+		return nil, fmt.Errorf("%w: nil Cholesky factor", ErrShape)
+	}
+	if L.Rows != L.Cols || len(L.Data) != L.Rows*L.Cols {
+		return nil, fmt.Errorf("%w: Cholesky factor claims %dx%d with %d elements", ErrShape, L.Rows, L.Cols, len(L.Data))
+	}
+	for _, v := range L.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("linalg: Cholesky factor has non-finite entry: %w", ErrNotPositiveDefinite)
+		}
+	}
+	for i := 0; i < L.Rows; i++ {
+		if L.At(i, i) <= 0 {
+			return nil, fmt.Errorf("linalg: Cholesky factor pivot %d is %g: %w", i, L.At(i, i), ErrNotPositiveDefinite)
+		}
+	}
+	return &Cholesky{L: L, n: L.Rows}, nil
 }

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -396,5 +397,72 @@ func TestCovarianceIsPSDProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestErrShapeSentinel(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("FromRows ragged err = %v, want ErrShape", err)
+	}
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("Mul mismatch err = %v, want ErrShape", err)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("MulVec mismatch err = %v, want ErrShape", err)
+	}
+	if err := a.Add(NewMatrix(3, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("Add mismatch err = %v, want ErrShape", err)
+	}
+	if _, err := NewCholesky(NewMatrix(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("Cholesky non-square err = %v, want ErrShape", err)
+	}
+}
+
+func TestCholeskyFromFactorValidates(t *testing.T) {
+	// A valid factor round-trips.
+	spd, err := FromRows([][]float64{{4, 1}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewCholesky(spd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := CholeskyFromFactor(ch.L)
+	if err != nil {
+		t.Fatalf("valid factor rejected: %v", err)
+	}
+	want, _ := ch.SolveVec([]float64{1, 2})
+	got, _ := restored.SolveVec([]float64{1, 2})
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("restored solve differs at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+
+	// Corrupted factors are rejected with typed errors, not used.
+	if _, err := CholeskyFromFactor(nil); !errors.Is(err, ErrShape) {
+		t.Fatalf("nil factor err = %v, want ErrShape", err)
+	}
+	if _, err := CholeskyFromFactor(NewMatrix(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("non-square factor err = %v, want ErrShape", err)
+	}
+	short := NewMatrix(2, 2)
+	short.Data = short.Data[:3]
+	if _, err := CholeskyFromFactor(short); !errors.Is(err, ErrShape) {
+		t.Fatalf("truncated factor err = %v, want ErrShape", err)
+	}
+	nan := NewMatrix(2, 2)
+	nan.Set(0, 0, 1)
+	nan.Set(1, 1, math.NaN())
+	if _, err := CholeskyFromFactor(nan); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("NaN factor err = %v, want ErrNotPositiveDefinite", err)
+	}
+	zero := NewMatrix(2, 2)
+	zero.Set(0, 0, 1) // pivot (1,1) left at 0
+	if _, err := CholeskyFromFactor(zero); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("zero-pivot factor err = %v, want ErrNotPositiveDefinite", err)
 	}
 }

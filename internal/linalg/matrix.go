@@ -12,6 +12,12 @@ import (
 	"strings"
 )
 
+// ErrShape is the typed sentinel wrapped by every dimension-mismatch error
+// in this package. Callers that feed the kernel data of uncontrolled origin
+// (persisted template state, user-supplied feature vectors) test for it with
+// errors.Is instead of string matching.
+var ErrShape = errors.New("linalg: shape mismatch")
+
 // Matrix is a dense, row-major matrix of float64.
 type Matrix struct {
 	Rows, Cols int
@@ -36,7 +42,7 @@ func FromRows(rows [][]float64) (*Matrix, error) {
 	m := NewMatrix(len(rows), c)
 	for i, row := range rows {
 		if len(row) != c {
-			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(row), c)
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(row), c)
 		}
 		copy(m.Data[i*c:(i+1)*c], row)
 	}
@@ -82,7 +88,7 @@ func (m *Matrix) T() *Matrix {
 // Mul returns m·b.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.Cols != b.Rows {
-		return nil, fmt.Errorf("linalg: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+		return nil, fmt.Errorf("%w: Mul %dx%d · %dx%d", ErrShape, m.Rows, m.Cols, b.Rows, b.Cols)
 	}
 	out := NewMatrix(m.Rows, b.Cols)
 	for i := 0; i < m.Rows; i++ {
@@ -105,7 +111,7 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 // MulVec returns m·x as a new vector.
 func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 	if m.Cols != len(x) {
-		return nil, fmt.Errorf("linalg: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(x))
+		return nil, fmt.Errorf("%w: MulVec %dx%d · %d", ErrShape, m.Rows, m.Cols, len(x))
 	}
 	out := make([]float64, m.Rows)
 	for i := 0; i < m.Rows; i++ {
@@ -117,7 +123,7 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 // Add adds b into m in place.
 func (m *Matrix) Add(b *Matrix) error {
 	if m.Rows != b.Rows || m.Cols != b.Cols {
-		return fmt.Errorf("linalg: Add dimension mismatch %dx%d + %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+		return fmt.Errorf("%w: Add %dx%d + %dx%d", ErrShape, m.Rows, m.Cols, b.Rows, b.Cols)
 	}
 	for i := range m.Data {
 		m.Data[i] += b.Data[i]
@@ -231,7 +237,7 @@ func Covariance(X *Matrix, mu []float64) (*Matrix, error) {
 		mu = Mean(X)
 	}
 	if len(mu) != X.Cols {
-		return nil, fmt.Errorf("linalg: covariance mean length %d != cols %d", len(mu), X.Cols)
+		return nil, fmt.Errorf("%w: covariance mean length %d != cols %d", ErrShape, len(mu), X.Cols)
 	}
 	p := X.Cols
 	cov := NewMatrix(p, p)

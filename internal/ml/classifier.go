@@ -6,11 +6,13 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/parallel"
+	"repro/internal/stats"
 )
 
 // Classifier is the common supervised-classification interface. Labels are
@@ -37,6 +39,9 @@ func validateTraining(X [][]float64, y []int) (nClasses, dim int, err error) {
 	for i, row := range X {
 		if len(row) != dim {
 			return 0, 0, fmt.Errorf("ml: row %d has dim %d, want %d", i, len(row), dim)
+		}
+		if !stats.AllFinite(row) {
+			return 0, 0, fmt.Errorf("ml: training row %d: %w: non-finite feature", i, stats.ErrDegenerate)
 		}
 		if y[i] < 0 {
 			return 0, 0, fmt.Errorf("ml: negative label %d", y[i])
@@ -109,18 +114,25 @@ func ConfusionMatrix(clf Classifier, X [][]float64, y []int, nClasses int) ([][]
 // multiple goroutines — constructing a fresh classifier per call (the normal
 // usage) satisfies this.
 func KFoldCV(make func() Classifier, X [][]float64, y []int, k int, rng *rand.Rand) (float64, error) {
+	return KFoldCVCtx(context.Background(), make, X, y, k, rng)
+}
+
+// KFoldCVCtx is KFoldCV with cooperative cancellation: once ctx is cancelled
+// no new fold starts and the call returns ctx.Err(); a fold error at a lower
+// index still takes precedence (parallel.ForErrCtx semantics).
+func KFoldCVCtx(ctx context.Context, make func() Classifier, X [][]float64, y []int, k int, rng *rand.Rand) (float64, error) {
 	if k < 2 || len(X) < k {
 		return 0, fmt.Errorf("ml: cannot run %d-fold CV on %d samples", k, len(X))
 	}
-	return kFoldCVPerm(make, X, y, k, rng.Perm(len(X)))
+	return kFoldCVPerm(ctx, make, X, y, k, rng.Perm(len(X)))
 }
 
 // kFoldCVPerm is KFoldCV with the shuffle already drawn, so grid searches can
 // pre-draw every cell's permutation serially and evaluate cells in parallel
 // without perturbing the rng stream.
-func kFoldCVPerm(mk func() Classifier, X [][]float64, y []int, k int, idx []int) (float64, error) {
+func kFoldCVPerm(ctx context.Context, mk func() Classifier, X [][]float64, y []int, k int, idx []int) (float64, error) {
 	accs := make([]float64, k)
-	err := parallel.ForErr(k, func(fold int) error {
+	err := parallel.ForErrCtx(ctx, k, func(fold int) error {
 		var trX, vaX [][]float64
 		var trY, vaY []int
 		for pos, j := range idx {

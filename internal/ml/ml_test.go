@@ -1,10 +1,14 @@
 package ml
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/stats"
 )
 
 // gaussianBlobs builds an easily separable K-class dataset with Gaussian
@@ -393,5 +397,38 @@ func TestClassifierDeterminismProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFitRejectsNonFiniteTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	X, y := gaussianBlobs(rng, 2, 20, 3, 6, 0.5)
+	X[7][1] = math.NaN()
+	for _, clf := range []Classifier{NewLDA(), NewQDA(), NewGaussianNB(), NewKNN(3), NewSVM(1, LinearKernel{})} {
+		if err := clf.Fit(X, y); !errors.Is(err, stats.ErrDegenerate) {
+			t.Fatalf("%s.Fit with NaN err = %v, want stats.ErrDegenerate", clf.Name(), err)
+		}
+	}
+}
+
+func TestKFoldCVCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	X, y := gaussianBlobs(rng, 2, 40, 3, 6, 0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := KFoldCVCtx(ctx, func() Classifier { return NewLDA() }, X, y, 4, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGridSearchSVMCtxCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	X, y := gaussianBlobs(rng, 2, 30, 3, 6, 0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := GridSearchSVMCtx(ctx, X, y, []float64{1}, []float64{0.1}, 3, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

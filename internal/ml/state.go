@@ -32,9 +32,13 @@ func LDAFromState(st *LDAState) (*LDA, error) {
 	if st == nil || len(st.Means) < 2 || st.PooledFactor == nil {
 		return nil, errors.New("ml: invalid LDA state")
 	}
+	chol, err := linalg.CholeskyFromFactor(st.PooledFactor)
+	if err != nil {
+		return nil, fmt.Errorf("ml: restoring LDA: %w", err)
+	}
 	l := &LDA{
 		means:  st.Means,
-		chol:   linalg.CholeskyFromFactor(st.PooledFactor),
+		chol:   chol,
 		priors: st.Priors,
 		nc:     len(st.Means),
 		p:      len(st.Means[0]),
@@ -82,8 +86,11 @@ func QDAFromState(st *QDAState) (*QDA, error) {
 		nc:     len(st.Means),
 		p:      len(st.Means[0]),
 	}
-	for _, f := range st.Factors {
-		ch := linalg.CholeskyFromFactor(f)
+	for c, f := range st.Factors {
+		ch, err := linalg.CholeskyFromFactor(f)
+		if err != nil {
+			return nil, fmt.Errorf("ml: restoring QDA class %d: %w", c, err)
+		}
 		q.chols = append(q.chols, ch)
 		q.logDets = append(q.logDets, ch.LogDet())
 	}

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -288,6 +289,13 @@ type GridSearchResult struct {
 // serial scan in the same grid order (strict improvement only) — so the
 // selected hyperparameters and CV scores match a serial run exactly.
 func GridSearchSVM(X [][]float64, y []int, cs, gammas []float64, folds int, rng *rand.Rand) (*SVM, GridSearchResult, error) {
+	return GridSearchSVMCtx(context.Background(), X, y, cs, gammas, folds, rng)
+}
+
+// GridSearchSVMCtx is GridSearchSVM with cooperative cancellation: grid cells
+// stop being scheduled once ctx is cancelled and the call returns ctx.Err().
+// The winner scan and final refit only run when every cell completed.
+func GridSearchSVMCtx(ctx context.Context, X [][]float64, y []int, cs, gammas []float64, folds int, rng *rand.Rand) (*SVM, GridSearchResult, error) {
 	if len(cs) == 0 || len(gammas) == 0 {
 		return nil, GridSearchResult{}, errors.New("ml: grid search needs candidate lists")
 	}
@@ -305,9 +313,9 @@ func GridSearchSVM(X [][]float64, y []int, cs, gammas []float64, folds int, rng 
 		}
 	}
 	scores := make([]float64, len(cells))
-	err := parallel.ForErr(len(cells), func(i int) error {
+	err := parallel.ForErrCtx(ctx, len(cells), func(i int) error {
 		cl := cells[i]
-		score, err := kFoldCVPerm(func() Classifier { return NewSVM(cl.c, RBFKernel{Gamma: cl.g}) }, X, y, folds, cl.perm)
+		score, err := kFoldCVPerm(ctx, func() Classifier { return NewSVM(cl.c, RBFKernel{Gamma: cl.g}) }, X, y, folds, cl.perm)
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -85,6 +86,34 @@ func For(n int, fn func(i int)) {
 // early exit; indices below it still run, which is harmless because slot
 // writes are independent.
 func ForErr(n int, fn func(i int) error) error {
+	return ForErrCtx(context.Background(), n, fn)
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is cancelled no new
+// index is started (indices already running finish normally), and the
+// returned error is ctx.Err(). A nil return means every index ran and ctx
+// was still live when the loop finished. Bodies that want finer-grained
+// cancellation can check ctx themselves.
+func ForCtx(ctx context.Context, n int, fn func(i int)) error {
+	return ForErrCtx(ctx, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForErrCtx is ForErr with cooperative cancellation. The error contract is
+// deterministic:
+//
+//   - if any body returned an error, the error of the lowest failing index is
+//     returned (exactly like ForErr), regardless of cancellation;
+//   - otherwise, if ctx is cancelled by the time the loop returns, ctx.Err()
+//     is returned (some indices may have been skipped);
+//   - otherwise nil.
+//
+// Cancellation stops the scheduling of new indices immediately — ctx is
+// checked before every index is handed to a body — but never interrupts a
+// body already running, so index-owned slot writes stay race-free.
+func ForErrCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -94,11 +123,14 @@ func ForErr(n int, fn func(i int) error) error {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 	var (
 		mu       sync.Mutex
@@ -124,6 +156,9 @@ func ForErr(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || i > bound() {
 					return
@@ -135,5 +170,8 @@ func ForErr(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,8 +1,10 @@
 package power
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -434,5 +436,102 @@ func TestTraceFiniteProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestValidateTrace(t *testing.T) {
+	good := []float64{1, 2, 3, 2, 1}
+	if err := ValidateTrace(good, 5); err != nil {
+		t.Fatalf("good trace rejected: %v", err)
+	}
+	if err := ValidateTrace(good, 0); err != nil {
+		t.Fatalf("unpinned length rejected: %v", err)
+	}
+	cases := []struct {
+		trace []float64
+		want  error
+	}{
+		{nil, ErrTraceLength},
+		{[]float64{1, 2}, ErrTraceLength},
+		{[]float64{1, math.NaN(), 3, 4, 5}, ErrNonFiniteTrace},
+		{[]float64{1, 2, math.Inf(-1), 4, 5}, ErrNonFiniteTrace},
+		{[]float64{7, 7, 7, 7, 7}, ErrConstantTrace},
+	}
+	for _, c := range cases {
+		if err := ValidateTrace(c.trace, 5); !errors.Is(err, c.want) {
+			t.Fatalf("ValidateTrace(%v) = %v, want %v", c.trace, err, c.want)
+		}
+	}
+}
+
+func TestDatasetSanitize(t *testing.T) {
+	d := &Dataset{DeviceID: 3, ClassNames: []string{"a", "b"}}
+	mkTrace := func(seed float64) []float64 {
+		tr := make([]float64, 6)
+		for i := range tr {
+			tr[i] = seed + float64(i%3)
+		}
+		return tr
+	}
+	for i := 0; i < 8; i++ {
+		d.Append(mkTrace(float64(i)), i%2, i%3)
+	}
+	d.Append([]float64{1, math.NaN(), 3, 4, 5, 6}, 0, 0) // non-finite
+	d.Append([]float64{2, 2, 2, 2, 2, 2}, 1, 1)          // constant
+	d.Append([]float64{1, 2, 3}, 0, 2)                   // wrong length
+
+	rep := d.Validate(0)
+	if rep.Checked != 11 || rep.NonFinite != 1 || rep.Constant != 1 || rep.WrongLength != 1 {
+		t.Fatalf("Validate report = %+v", rep)
+	}
+	if d.Len() != 11 {
+		t.Fatal("Validate must not modify the dataset")
+	}
+
+	clean, srep := d.Sanitize(0)
+	if srep != rep {
+		t.Fatalf("Sanitize report %+v != Validate report %+v", srep, rep)
+	}
+	if clean.Len() != 8 {
+		t.Fatalf("clean.Len() = %d, want 8", clean.Len())
+	}
+	if clean.DeviceID != 3 || len(clean.ClassNames) != 2 {
+		t.Fatal("Sanitize dropped dataset metadata")
+	}
+	for i, tr := range clean.Traces {
+		if err := ValidateTrace(tr, 6); err != nil {
+			t.Fatalf("clean trace %d still invalid: %v", i, err)
+		}
+		if clean.Labels[i] != i%2 || clean.Programs[i] != i%3 {
+			t.Fatalf("labels/programs misaligned at %d", i)
+		}
+	}
+	if s := srep.String(); !strings.Contains(s, "3/11") {
+		t.Fatalf("report string %q", s)
+	}
+}
+
+// The modal-length rule: one truncated leading trace must not condemn the
+// majority length.
+func TestSanitizeUsesModalLength(t *testing.T) {
+	d := &Dataset{}
+	d.Append([]float64{1, 2}, 0, 0) // short outlier first
+	for i := 0; i < 5; i++ {
+		d.Append([]float64{1, 2, 3, float64(i)}, 0, 0)
+	}
+	clean, rep := d.Sanitize(0)
+	if clean.Len() != 5 || rep.WrongLength != 1 {
+		t.Fatalf("clean=%d rep=%+v, want the 4-sample majority kept", clean.Len(), rep)
+	}
+}
+
+func TestValidationReportMerge(t *testing.T) {
+	a := ValidationReport{Checked: 5, NonFinite: 1}
+	a.Merge(ValidationReport{Checked: 3, Constant: 2, WrongLength: 1})
+	if a.Checked != 8 || a.Rejected() != 4 {
+		t.Fatalf("merged = %+v", a)
+	}
+	if s := (ValidationReport{Checked: 4}).String(); !strings.Contains(s, "0/4") {
+		t.Fatalf("clean report string %q", s)
 	}
 }

@@ -13,6 +13,29 @@ import (
 // ErrTooFewSamples is returned by estimators that need at least 2 samples.
 var ErrTooFewSamples = errors.New("stats: need at least 2 samples")
 
+// ErrDegenerate is the typed sentinel for degenerate inputs: NaN/Inf samples
+// or populations whose statistics cannot support the downstream pipeline
+// (e.g. a constant feature). Callers unwrap it with errors.Is to reject a
+// single trace or feature point without aborting a whole campaign.
+var ErrDegenerate = errors.New("stats: degenerate input")
+
+// MinSigma is the documented standard-deviation floor: every σ that enters a
+// division or a logarithm (KL divergence, z-scores, per-trace normalization)
+// is clamped to at least MinSigma, so a zero-variance population — a constant
+// CWT coefficient, a flat trace — yields large-but-finite statistics instead
+// of ±Inf or NaN.
+const MinSigma = 1e-12
+
+// AllFinite reports whether every value of xs is finite (no NaN, no ±Inf).
+func AllFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // Gaussian holds the parameters of a univariate normal distribution.
 type Gaussian struct {
 	Mean   float64
@@ -24,6 +47,9 @@ type Gaussian struct {
 func EstimateGaussian(xs []float64) (Gaussian, error) {
 	if len(xs) < 2 {
 		return Gaussian{}, ErrTooFewSamples
+	}
+	if !AllFinite(xs) {
+		return Gaussian{}, fmt.Errorf("%w: non-finite sample", ErrDegenerate)
 	}
 	m := Mean(xs)
 	var ss float64
@@ -63,9 +89,8 @@ func Variance(xs []float64) float64 {
 // StdDev returns the unbiased sample standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
-// minSigma floors standard deviations so KL divergences between
-// near-degenerate coefficient populations stay finite.
-const minSigma = 1e-12
+// minSigma is the internal alias for the exported MinSigma floor.
+const minSigma = MinSigma
 
 // KLGaussian returns D_KL(P‖Q) for univariate Gaussians P and Q using the
 // closed form
@@ -74,6 +99,11 @@ const minSigma = 1e-12
 //
 // This is the divergence the paper computes between the per-class CWT
 // coefficient populations at each time–frequency point.
+//
+// Both standard deviations are clamped to MinSigma, so a zero-σ side (a
+// constant feature point) produces a large finite divergence rather than
+// ±Inf; NaN can still propagate from NaN means, which the selection layer
+// detects and reports (see features.Selector.NotVaryingMask).
 func KLGaussian(p, q Gaussian) float64 {
 	sp := math.Max(p.StdDev, minSigma)
 	sq := math.Max(q.StdDev, minSigma)
@@ -125,6 +155,9 @@ func (z *ZScoreNormalizer) Fit(X [][]float64) error {
 				return fmt.Errorf("stats: row %d has %d dims, want %d", i, len(row), p)
 			}
 			col[i] = row[j]
+		}
+		if !AllFinite(col) {
+			return fmt.Errorf("%w: non-finite value in feature column %d", ErrDegenerate, j)
 		}
 		z.Means[j] = Mean(col)
 		z.Stds[j] = math.Max(StdDev(col), minSigma)

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -215,5 +216,58 @@ func TestAccuracy(t *testing.T) {
 	}
 	if _, err := Accuracy(nil, nil); err == nil {
 		t.Fatal("want empty error")
+	}
+}
+
+// Regression: a zero-σ side (constant feature point) must yield a large but
+// finite divergence — a single flat CWT point used to send the between-class
+// KL map to ±Inf and poison peak picking.
+func TestKLGaussianZeroSigmaStaysFinite(t *testing.T) {
+	flat := Gaussian{Mean: 1.5, StdDev: 0}
+	spread := Gaussian{Mean: 0, StdDev: 2}
+	for _, d := range []float64{
+		KLGaussian(flat, spread),
+		KLGaussian(spread, flat),
+		KLGaussian(flat, flat),
+		SymmetricKLGaussian(flat, spread),
+		SymmetricKLGaussian(flat, flat),
+	} {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("divergence with zero sigma is not finite: %v", d)
+		}
+	}
+	// Two distinct constants must still register as strongly distinct.
+	other := Gaussian{Mean: -1.5, StdDev: 0}
+	if d := SymmetricKLGaussian(flat, other); d <= 0 || math.IsInf(d, 0) {
+		t.Fatalf("divergence between distinct constants = %v, want large finite positive", d)
+	}
+}
+
+func TestEstimateGaussianRejectsNonFinite(t *testing.T) {
+	for _, xs := range [][]float64{
+		{1, math.NaN(), 3},
+		{1, math.Inf(1), 3},
+		{math.Inf(-1), 2, 3},
+	} {
+		if _, err := EstimateGaussian(xs); !errors.Is(err, ErrDegenerate) {
+			t.Fatalf("EstimateGaussian(%v) err = %v, want ErrDegenerate", xs, err)
+		}
+	}
+}
+
+func TestZScoreFitRejectsNonFinite(t *testing.T) {
+	z := &ZScoreNormalizer{}
+	X := [][]float64{{1, 2}, {3, math.NaN()}, {5, 6}}
+	if err := z.Fit(X); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("Fit err = %v, want ErrDegenerate", err)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{0, -1, 2.5}) {
+		t.Fatal("finite slice reported non-finite")
+	}
+	if AllFinite([]float64{0, math.NaN()}) || AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("non-finite slice reported finite")
 	}
 }

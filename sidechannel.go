@@ -24,6 +24,7 @@
 package sidechannel
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -76,6 +77,23 @@ type (
 	ProgramEnv = power.ProgramEnv
 	// PipelineConfig controls CWT→KL→normalize→PCA feature extraction.
 	PipelineConfig = features.PipelineConfig
+	// ValidationReport counts traces rejected at ingestion, by defect kind.
+	ValidationReport = power.ValidationReport
+)
+
+// Trace-validation sentinels, matchable with errors.Is against any error
+// returned by Train/Classify/Disassemble. See the power package's failure
+// model (DESIGN.md §7).
+var (
+	// ErrNonFiniteTrace marks a trace containing NaN or ±Inf samples.
+	ErrNonFiniteTrace = power.ErrNonFiniteTrace
+	// ErrConstantTrace marks a flat-lined (zero-variance) trace.
+	ErrConstantTrace = power.ErrConstantTrace
+	// ErrTraceLength marks a truncated or misaligned capture.
+	ErrTraceLength = power.ErrTraceLength
+	// ErrTemplateFormat marks a corrupted/unsupported template file in
+	// LoadTemplates.
+	ErrTemplateFormat = core.ErrTemplateFormat
 )
 
 // Classifier kinds accepted by Config.Classifier.
@@ -114,10 +132,29 @@ func BasePipeline() PipelineConfig { return features.DefaultPipelineConfig() }
 // Train builds a full 112-class disassembler with register recovery.
 func Train(cfg Config) (*Disassembler, *TrainReport, error) { return core.Train(cfg) }
 
+// TrainCtx is Train with cooperative cancellation: cancelling ctx stops the
+// campaign from scheduling new work and returns ctx.Err() promptly. Work
+// already in flight finishes; no partial state escapes.
+func TrainCtx(ctx context.Context, cfg Config) (*Disassembler, *TrainReport, error) {
+	return core.TrainCtx(ctx, cfg)
+}
+
 // TrainSubset builds a disassembler restricted to the given classes —
 // useful for quick demonstrations.
 func TrainSubset(cfg Config, classes []Class, withRegisters bool) (*Disassembler, error) {
 	return core.TrainSubset(cfg, classes, withRegisters)
+}
+
+// TrainSubsetCtx is TrainSubset with cooperative cancellation.
+func TrainSubsetCtx(ctx context.Context, cfg Config, classes []Class, withRegisters bool) (*Disassembler, error) {
+	return core.TrainSubsetCtx(ctx, cfg, classes, withRegisters)
+}
+
+// ValidateTrace checks one trace for the defects the pipeline rejects:
+// wrong length (when wantLen > 0), non-finite samples, zero variance.
+// The returned error wraps one of the sentinel errors above, or is nil.
+func ValidateTrace(trace []float64, wantLen int) error {
+	return power.ValidateTrace(trace, wantLen)
 }
 
 // Assemble parses one line of AVR assembly into an Instruction.

@@ -1,9 +1,13 @@
 package sidechannel
 
 import (
+	"context"
+	"errors"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFacadeAssembleRoundTrip(t *testing.T) {
@@ -96,6 +100,49 @@ func TestFacadeEndToEnd(t *testing.T) {
 	listing := Listing(decs)
 	if !strings.Contains(listing, "\n") {
 		t.Fatal("listing should be multi-line")
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if err := ValidateTrace([]float64{1, 2, math.NaN()}, 0); !errors.Is(err, ErrNonFiniteTrace) {
+		t.Fatalf("NaN trace err = %v, want ErrNonFiniteTrace", err)
+	}
+	if err := ValidateTrace([]float64{7, 7, 7}, 0); !errors.Is(err, ErrConstantTrace) {
+		t.Fatalf("flat trace err = %v, want ErrConstantTrace", err)
+	}
+	if err := ValidateTrace([]float64{1, 2}, 5); !errors.Is(err, ErrTraceLength) {
+		t.Fatalf("short trace err = %v, want ErrTraceLength", err)
+	}
+	if err := ValidateTrace([]float64{1, 2, 3}, 3); err != nil {
+		t.Fatalf("healthy trace rejected: %v", err)
+	}
+	var rep ValidationReport
+	rep.Merge(ValidationReport{Checked: 4, NonFinite: 1})
+	if rep.Rejected() != 1 || !strings.Contains(rep.String(), "non-finite") {
+		t.Fatalf("report = %q", rep)
+	}
+}
+
+func TestFacadeTrainCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig()
+	cfg.Programs = 2
+	cfg.TracesPerProgram = 8
+	cfg.RegisterPrograms = 0
+	classes := []Class{mustClass(t, "ADC"), mustClass(t, "AND")}
+	done := make(chan error, 1)
+	go func() {
+		_, err := TrainSubsetCtx(ctx, cfg, classes, false)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled training did not return promptly")
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench verify
+.PHONY: build test race vet lint bench bench-compare verify
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,11 @@ lint: vet
 
 bench:
 	$(GO) test -run '^$$' -bench Pipeline -benchmem .
+
+# Observability overhead gate: fails when the metrics+tracing path makes
+# FitPipeline more than 3% slower than the nil-registry fast path.
+bench-compare:
+	BENCH_COMPARE=1 $(GO) test -run TestMetricsOverheadBudget -v .
 
 # The full gate: what CI runs and what a PR must pass.
 verify: vet build test race

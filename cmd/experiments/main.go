@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -40,7 +41,9 @@ func main() {
 		pcsFlag  = flag.String("pcs", "1,2,3,5,10,20,43", "principal-component sweep for fig5a/fig5b")
 		varsFlag = flag.String("vars", "3,5,7,9", "variable counts for fig6")
 		workers  = flag.Int("workers", 0, "worker goroutines for the feature/training pipeline (0 = all CPUs)")
+		obsOpts  obs.Options
 	)
+	obsOpts.Register(flag.CommandLine)
 	flag.Parse()
 	if *workers < 0 {
 		fatal(fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", *workers))
@@ -51,6 +54,11 @@ func main() {
 	// a half-written results dump.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	ctx, sess, err := obsOpts.Start(ctx)
+	if err != nil {
+		fatal(err)
+	}
 
 	sc := experiments.DefaultScale()
 	if *paper {
@@ -98,6 +106,12 @@ func main() {
 		}
 		fmt.Println(out)
 		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	manifest := sess.Manifest("experiments", parallel.Workers())
+	manifest.Config = sc
+	manifest.Notes = map[string]any{"experiments": names, "pcs": pcs, "vars": vars}
+	if err := sess.Close(manifest, parallel.Workers()); err != nil {
+		fatal(err)
 	}
 }
 

@@ -11,6 +11,10 @@
 //
 // Flags for demo/detect: -programs, -traces, -seed scale the simulated
 // profiling campaign; -workers N bounds the worker pool (0 = all CPUs).
+// Observability: -metrics-out/-trace-out/-manifest-out write end-of-run JSON
+// artifacts, -log-format selects text or json logs, -pprof ADDR serves
+// net/http/pprof plus /metrics, and a stage-timing table always lands on
+// stderr after training.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"repro/internal/avr"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/power"
 )
@@ -111,12 +116,14 @@ func runDecode(args []string) error {
 	return nil
 }
 
-func campaignFlags(fs *flag.FlagSet) (*int, *int, *uint64, *int) {
+func campaignFlags(fs *flag.FlagSet) (*int, *int, *uint64, *int, *obs.Options) {
 	programs := fs.Int("programs", 4, "profiling program files per class")
 	traces := fs.Int("traces", 20, "traces per program file")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	workers := fs.Int("workers", 0, "worker goroutines for training/disassembly (0 = all CPUs)")
-	return programs, traces, seed, workers
+	obsOpts := &obs.Options{}
+	obsOpts.Register(fs)
+	return programs, traces, seed, workers, obsOpts
 }
 
 // applyWorkers validates and installs the -workers flag value. Negative
@@ -131,13 +138,17 @@ func applyWorkers(workers int) error {
 
 func runDemo(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
-	programs, traces, seed, workers := campaignFlags(fs)
+	programs, traces, seed, workers, obsOpts := campaignFlags(fs)
 	saveTo := fs.String("save", "", "write the trained templates to this file")
 	loadFrom := fs.String("templates", "", "load templates from this file instead of training")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := applyWorkers(*workers); err != nil {
+		return err
+	}
+	ctx, sess, err := obsOpts.Start(ctx)
+	if err != nil {
 		return err
 	}
 	cfg := core.DefaultTrainerConfig()
@@ -149,6 +160,7 @@ func runDemo(ctx context.Context, args []string) error {
 
 	classes := []avr.Class{avr.OpADD, avr.OpADC, avr.OpEOR, avr.OpMOV}
 	var d *core.Disassembler
+	var rep *core.TrainReport
 	if *loadFrom != "" {
 		f, err := os.Open(*loadFrom)
 		if err != nil {
@@ -163,7 +175,7 @@ func runDemo(ctx context.Context, args []string) error {
 		fmt.Printf("training templates for %d classes (%d programs x %d traces)...\n",
 			len(classes), cfg.Programs, cfg.TracesPerProgram)
 		var err error
-		if d, err = core.TrainSubsetCtx(ctx, cfg, classes, true); err != nil {
+		if d, rep, err = core.TrainSubsetReportCtx(ctx, cfg, classes, true); err != nil {
 			return err
 		}
 		if *saveTo != "" {
@@ -216,12 +228,15 @@ func runDemo(ctx context.Context, args []string) error {
 	for i, in := range program {
 		fmt.Printf("  %-24s  %s\n", in.String(), fused[i].String())
 	}
-	return nil
+	manifest := sess.Manifest("demo", parallel.Workers())
+	manifest.Config = cfg
+	manifest.Report = rep
+	return sess.Close(manifest, parallel.Workers())
 }
 
 func runDetect(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
-	programs, traces, seed, workers := campaignFlags(fs)
+	programs, traces, seed, workers, obsOpts := campaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -229,6 +244,10 @@ func runDetect(ctx context.Context, args []string) error {
 		return err
 	}
 	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, sess, err := obsOpts.Start(ctx)
+	if err != nil {
 		return err
 	}
 	sc := experiments.DefaultScale()
@@ -240,5 +259,8 @@ func runDetect(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Print(res)
-	return nil
+	manifest := sess.Manifest("detect", parallel.Workers())
+	manifest.Config = sc
+	manifest.Report = res
+	return sess.Close(manifest, parallel.Workers())
 }

@@ -21,9 +21,24 @@ import (
 	"repro/internal/avr"
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/power"
 )
+
+// met holds the disassembly instrument handles; nil (no-op) until a registry
+// is installed with obs.SetDefault.
+var met struct {
+	classified *obs.Counter // core.traces.classified — Classify calls that succeeded
+	rejected   *obs.Counter // core.traces.rejected — Classify calls that failed
+}
+
+func init() {
+	obs.OnDefault(func(r *obs.Registry) {
+		met.classified = r.Counter("core.traces.classified")
+		met.rejected = r.Counter("core.traces.rejected")
+	})
+}
 
 // ClassifierKind selects the classification algorithm at every level.
 type ClassifierKind string
@@ -164,13 +179,21 @@ func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
 		return Decoded{}, ErrNotTrained
 	}
 	if err := power.ValidateTrace(trace, d.group.pipe.TraceLen()); err != nil {
+		met.rejected.Inc()
 		return Decoded{}, fmt.Errorf("core: rejecting trace: %w", err)
 	}
 	flat, err := d.group.pipe.RawScalogram(trace)
 	if err != nil {
+		met.rejected.Inc()
 		return Decoded{}, fmt.Errorf("core: group features: %w", err)
 	}
-	return d.classifyScalogram(flat)
+	dec, err := d.classifyScalogram(flat)
+	if err != nil {
+		met.rejected.Inc()
+		return dec, err
+	}
+	met.classified.Inc()
+	return dec, nil
 }
 
 // classifyScalogram runs the hierarchical classification against a shared
@@ -267,6 +290,8 @@ func (d *Disassembler) Disassemble(traces [][]float64) ([]Decoded, error) {
 // returned, exactly like the serial flow; on cancellation the scheduling of
 // new traces stops and the call returns a nil listing with ctx.Err().
 func (d *Disassembler) DisassembleCtx(ctx context.Context, traces [][]float64) ([]Decoded, error) {
+	ctx, span := obs.Span(ctx, "core.disassemble")
+	defer span.End()
 	out := make([]Decoded, len(traces))
 	var (
 		mu       sync.Mutex

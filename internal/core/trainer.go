@@ -8,6 +8,7 @@ import (
 	"repro/internal/avr"
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/power"
 )
@@ -76,6 +77,23 @@ type TrainReport struct {
 	// level's dataset: how many traces were examined and how many were
 	// rejected (non-finite, constant, wrong length) before fitting.
 	Validation power.ValidationReport
+	// LevelConfusion holds the training-set confusion counts of every fitted
+	// level, keyed "group", "group1".."group8", "rd", "rr"; cm[true][predicted].
+	LevelConfusion map[string][][]int `json:",omitempty"`
+	// Stages is the stage-timing tree of this run — the single source both the
+	// CLI timing table and the run manifest render from. TrainCtx and
+	// TrainSubsetReportCtx populate it, installing a local tracer when the
+	// context does not already carry one.
+	Stages []*obs.SpanNode `json:",omitempty"`
+}
+
+// jobOut is what one template-building job reports back for the serial merge:
+// its level name, its ingestion-validation counts and its training-set
+// confusion matrix.
+type jobOut struct {
+	name string
+	vrep power.ValidationReport
+	conf [][]int
 }
 
 // Train runs the full acquisition + template-building flow of Fig. 1 on the
@@ -103,91 +121,134 @@ func TrainCtx(ctx context.Context, cfg TrainerConfig) (*Disassembler, *TrainRepo
 	if err != nil {
 		return nil, nil, err
 	}
+	// Stage timings always land in the report: when the caller brought no
+	// tracer, a local one scoped to this run is installed.
+	tracer := obs.TracerFrom(ctx)
+	if tracer == nil {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	ctx, trainSpan := obs.Span(ctx, "core.train")
+	defer trainSpan.End()
 	d := &Disassembler{}
 	rep := &TrainReport{}
 
-	var jobs []func() (power.ValidationReport, error)
+	var jobs []func() (jobOut, error)
 	// Level 1: the 8-group classifier.
-	jobs = append(jobs, func() (vr power.ValidationReport, err error) {
+	jobs = append(jobs, func() (jobOut, error) {
+		out := jobOut{name: "group"}
 		groupDS, err := camp.CollectGroups(cfg.Programs, cfg.TracesPerProgram)
 		if err != nil {
-			return vr, fmt.Errorf("core: group acquisition: %w", err)
+			return out, fmt.Errorf("core: group acquisition: %w", err)
 		}
-		if d.group, rep.GroupTrainAccuracy, vr, err = fitLevel(ctx, groupDS, avr.NumGroups, cfg); err != nil {
-			return vr, fmt.Errorf("core: group level: %w", err)
+		res, err := fitLevel(ctx, out.name, groupDS, avr.NumGroups, cfg)
+		out.vrep, out.conf = res.vrep, res.conf
+		if err != nil {
+			return out, fmt.Errorf("core: group level: %w", err)
 		}
+		d.group, rep.GroupTrainAccuracy = res.level, res.acc
 		rep.GroupPoints = d.group.pipe.NumPoints()
-		return vr, nil
+		return out, nil
 	})
 	// Level 2: per-group instruction classifiers.
 	for g := avr.Group1; g <= avr.Group8; g++ {
 		g := g
-		jobs = append(jobs, func() (vr power.ValidationReport, err error) {
+		jobs = append(jobs, func() (jobOut, error) {
+			gi := int(g - avr.Group1)
+			out := jobOut{name: fmt.Sprintf("group%d", gi+1)}
 			classes := avr.ClassesInGroup(g)
 			ds, err := camp.CollectClasses(classes, cfg.Programs, cfg.TracesPerProgram)
 			if err != nil {
-				return vr, fmt.Errorf("core: group %d acquisition: %w", g, err)
+				return out, fmt.Errorf("core: group %d acquisition: %w", g, err)
 			}
-			gi := int(g - avr.Group1)
-			if d.instr[gi], rep.InstrTrainAccuracy[gi], vr, err = fitLevel(ctx, ds, len(classes), cfg); err != nil {
-				return vr, fmt.Errorf("core: group %d level: %w", g, err)
+			res, err := fitLevel(ctx, out.name, ds, len(classes), cfg)
+			out.vrep, out.conf = res.vrep, res.conf
+			if err != nil {
+				return out, fmt.Errorf("core: group %d level: %w", g, err)
 			}
+			d.instr[gi], rep.InstrTrainAccuracy[gi] = res.level, res.acc
 			d.instrClass[gi] = classes
 			rep.InstrPoints[gi] = d.instr[gi].pipe.NumPoints()
-			return vr, nil
+			return out, nil
 		})
 	}
 	// Level 3: register classifiers.
 	withRegs := cfg.RegisterPrograms > 0 && cfg.RegisterTracesPerProgram > 0
 	if withRegs {
-		jobs = append(jobs, func() (vr power.ValidationReport, err error) {
+		jobs = append(jobs, func() (jobOut, error) {
+			out := jobOut{name: "rd"}
 			rdDS, err := camp.CollectRegisters(true, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
 			if err != nil {
-				return vr, fmt.Errorf("core: Rd acquisition: %w", err)
+				return out, fmt.Errorf("core: Rd acquisition: %w", err)
 			}
-			if d.rd, rep.RdTrainAccuracy, vr, err = fitLevel(ctx, rdDS, 32, cfg); err != nil {
-				return vr, fmt.Errorf("core: Rd level: %w", err)
+			res, err := fitLevel(ctx, out.name, rdDS, 32, cfg)
+			out.vrep, out.conf = res.vrep, res.conf
+			if err != nil {
+				return out, fmt.Errorf("core: Rd level: %w", err)
 			}
-			return vr, nil
-		}, func() (vr power.ValidationReport, err error) {
+			d.rd, rep.RdTrainAccuracy = res.level, res.acc
+			return out, nil
+		}, func() (jobOut, error) {
+			out := jobOut{name: "rr"}
 			rrDS, err := camp.CollectRegisters(false, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
 			if err != nil {
-				return vr, fmt.Errorf("core: Rr acquisition: %w", err)
+				return out, fmt.Errorf("core: Rr acquisition: %w", err)
 			}
-			if d.rr, rep.RrTrainAccuracy, vr, err = fitLevel(ctx, rrDS, 32, cfg); err != nil {
-				return vr, fmt.Errorf("core: Rr level: %w", err)
+			res, err := fitLevel(ctx, out.name, rrDS, 32, cfg)
+			out.vrep, out.conf = res.vrep, res.conf
+			if err != nil {
+				return out, fmt.Errorf("core: Rr level: %w", err)
 			}
-			return vr, nil
+			d.rr, rep.RrTrainAccuracy = res.level, res.acc
+			return out, nil
 		})
 	}
-	// Each job writes its validation report into its own slot; the merge
-	// below runs serially in job order, so the aggregate is deterministic.
-	reports := make([]power.ValidationReport, len(jobs))
+	// Each job writes its output into its own slot; the merge below runs
+	// serially in job order, so the aggregate report is deterministic.
+	outs := make([]jobOut, len(jobs))
 	if err := parallel.ForErrCtx(ctx, len(jobs), func(i int) error {
-		vr, err := jobs[i]()
-		reports[i] = vr
+		out, err := jobs[i]()
+		outs[i] = out
 		return err
 	}); err != nil {
 		return nil, nil, err
 	}
-	for _, vr := range reports {
-		rep.Validation.Merge(vr)
+	rep.LevelConfusion = map[string][][]int{}
+	for _, out := range outs {
+		rep.Validation.Merge(out.vrep)
+		if out.conf != nil {
+			rep.LevelConfusion[out.name] = out.conf
+		}
 	}
 	d.haveRegs = withRegs
+	trainSpan.End()
+	rep.Stages = tracer.Tree()
 	return d, rep, nil
 }
 
+// levelResult is everything fitLevel learns about one hierarchy level.
+type levelResult struct {
+	level groupLevel
+	acc   float64 // training-set accuracy (confusion diagonal)
+	vrep  power.ValidationReport
+	conf  [][]int // training-set confusion counts cm[true][predicted]
+}
+
 // fitLevel fits one pipeline + classifier pair on a dataset and reports the
-// training-set accuracy. Ingestion first sanitizes the dataset — defective
-// traces (non-finite, constant, wrong length against the configured
-// TraceLen) are rejected per-trace and counted in the returned report, so a
-// few bad captures never abort or poison a level. The PCA dimensionality is
-// clamped below the smallest per-class sample count so the QDA/LDA
-// covariance estimates stay well conditioned even at reduced trace counts.
-func fitLevel(ctx context.Context, ds *power.Dataset, nClasses int, cfg TrainerConfig) (groupLevel, float64, power.ValidationReport, error) {
-	ds, vrep := ds.Sanitize(cfg.Power.TraceLen)
+// training-set accuracy and confusion counts. Ingestion first sanitizes the
+// dataset — defective traces (non-finite, constant, wrong length against the
+// configured TraceLen) are rejected per-trace and counted in the returned
+// report, so a few bad captures never abort or poison a level. The PCA
+// dimensionality is clamped below the smallest per-class sample count so the
+// QDA/LDA covariance estimates stay well conditioned even at reduced trace
+// counts. name labels the level's stage span ("core.level.<name>").
+func fitLevel(ctx context.Context, name string, ds *power.Dataset, nClasses int, cfg TrainerConfig) (levelResult, error) {
+	ctx, span := obs.Span(ctx, "core.level."+name)
+	defer span.End()
+	var res levelResult
+	ds, res.vrep = ds.Sanitize(cfg.Power.TraceLen)
 	if ds.Len() == 0 {
-		return groupLevel{}, 0, vrep, fmt.Errorf("core: every trace rejected at ingestion (%s)", vrep)
+		return res, fmt.Errorf("core: every trace rejected at ingestion (%s)", res.vrep)
 	}
 	counts := make([]int, nClasses)
 	for _, l := range ds.Labels {
@@ -207,24 +268,53 @@ func fitLevel(ctx context.Context, ds *power.Dataset, nClasses int, cfg TrainerC
 	}
 	pipe, err := features.FitPipelineCtx(ctx, ds.Traces, ds.Labels, ds.Programs, nClasses, pcfg)
 	if err != nil {
-		return groupLevel{}, 0, vrep, err
+		return res, err
 	}
-	X, err := pipe.ExtractAllCtx(ctx, ds.Traces)
+	extCtx, extSpan := obs.Span(ctx, "core.extract")
+	X, err := pipe.ExtractAllCtx(extCtx, ds.Traces)
+	extSpan.End()
 	if err != nil {
-		return groupLevel{}, 0, vrep, err
+		return res, err
 	}
 	clf, err := NewClassifier(cfg.Classifier)
 	if err != nil {
-		return groupLevel{}, 0, vrep, err
+		return res, err
 	}
-	if err := clf.Fit(X, ds.Labels); err != nil {
-		return groupLevel{}, 0, vrep, err
-	}
-	acc, err := ml.EvaluateAccuracy(clf, X, ds.Labels)
+	_, fitSpan := obs.Span(ctx, "core.classifier_fit")
+	err = clf.Fit(X, ds.Labels)
+	fitSpan.End()
 	if err != nil {
-		return groupLevel{}, 0, vrep, err
+		return res, err
 	}
-	return groupLevel{pipe: pipe, clf: clf}, acc, vrep, nil
+	_, evalSpan := obs.Span(ctx, "core.train_eval")
+	cm, err := ml.ConfusionMatrix(clf, X, ds.Labels, nClasses)
+	evalSpan.End()
+	if err != nil {
+		return res, err
+	}
+	res.level = groupLevel{pipe: pipe, clf: clf}
+	res.conf = cm
+	res.acc = accuracyFromConfusion(cm)
+	return res, nil
+}
+
+// accuracyFromConfusion returns diagonal/total — the same value
+// ml.EvaluateAccuracy computes, derived from the confusion counts instead of
+// a second prediction pass.
+func accuracyFromConfusion(cm [][]int) float64 {
+	hit, total := 0, 0
+	for i, row := range cm {
+		for j, v := range row {
+			total += v
+			if i == j {
+				hit += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
 }
 
 // TrainSubset trains a disassembler restricted to the given classes (still
@@ -236,27 +326,55 @@ func TrainSubset(cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*D
 
 // TrainSubsetCtx is TrainSubset with cooperative cancellation (see TrainCtx).
 func TrainSubsetCtx(ctx context.Context, cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*Disassembler, error) {
+	d, _, err := TrainSubsetReportCtx(ctx, cfg, classes, withRegisters)
+	return d, err
+}
+
+// TrainSubsetReport is TrainSubset returning the training report as well.
+func TrainSubsetReport(cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*Disassembler, *TrainReport, error) {
+	return TrainSubsetReportCtx(context.Background(), cfg, classes, withRegisters)
+}
+
+// TrainSubsetReportCtx is TrainSubsetCtx returning the same TrainReport
+// TrainCtx produces (accuracies, validation counts, per-level confusion,
+// stage timings), restricted to the levels the subset actually trains.
+func TrainSubsetReportCtx(ctx context.Context, cfg TrainerConfig, classes []avr.Class, withRegisters bool) (*Disassembler, *TrainReport, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(classes) < 2 {
-		return nil, fmt.Errorf("core: TrainSubset needs >= 2 classes")
+		return nil, nil, fmt.Errorf("core: TrainSubset needs >= 2 classes")
 	}
 	camp, err := power.NewCampaign(cfg.Power, 0, cfg.Seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	tracer := obs.TracerFrom(ctx)
+	if tracer == nil {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	ctx, trainSpan := obs.Span(ctx, "core.train_subset")
+	defer trainSpan.End()
 	d := &Disassembler{}
+	rep := &TrainReport{}
 
-	var jobs []func() error
+	var jobs []func() (jobOut, error)
 	// Group level trained on the full 8-way task so group routing works.
-	jobs = append(jobs, func() error {
+	jobs = append(jobs, func() (jobOut, error) {
+		out := jobOut{name: "group"}
 		groupDS, err := camp.CollectGroups(cfg.Programs, cfg.TracesPerProgram)
 		if err != nil {
-			return err
+			return out, err
 		}
-		d.group, _, _, err = fitLevel(ctx, groupDS, avr.NumGroups, cfg)
-		return err
+		res, err := fitLevel(ctx, out.name, groupDS, avr.NumGroups, cfg)
+		out.vrep, out.conf = res.vrep, res.conf
+		if err != nil {
+			return out, err
+		}
+		d.group, rep.GroupTrainAccuracy = res.level, res.acc
+		rep.GroupPoints = d.group.pipe.NumPoints()
+		return out, nil
 	})
 
 	// Instruction level only for the groups covered by the subset. The map is
@@ -273,8 +391,9 @@ func TrainSubsetCtx(ctx context.Context, cfg TrainerConfig, classes []avr.Class,
 	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
 	for _, g := range groups {
 		g, cls := g, byGroup[g]
-		jobs = append(jobs, func() error {
+		jobs = append(jobs, func() (jobOut, error) {
 			gi := int(g - avr.Group1)
+			out := jobOut{name: fmt.Sprintf("group%d", gi+1)}
 			if len(cls) < 2 {
 				// A lone class in its group still needs a 2-way pipeline; train
 				// against the full group instead.
@@ -282,37 +401,67 @@ func TrainSubsetCtx(ctx context.Context, cfg TrainerConfig, classes []avr.Class,
 			}
 			ds, err := camp.CollectClasses(cls, cfg.Programs, cfg.TracesPerProgram)
 			if err != nil {
-				return err
+				return out, err
 			}
-			if d.instr[gi], _, _, err = fitLevel(ctx, ds, len(cls), cfg); err != nil {
-				return err
+			res, err := fitLevel(ctx, out.name, ds, len(cls), cfg)
+			out.vrep, out.conf = res.vrep, res.conf
+			if err != nil {
+				return out, err
 			}
+			d.instr[gi], rep.InstrTrainAccuracy[gi] = res.level, res.acc
 			d.instrClass[gi] = cls
-			return nil
+			rep.InstrPoints[gi] = d.instr[gi].pipe.NumPoints()
+			return out, nil
 		})
 	}
 
 	withRegs := withRegisters && cfg.RegisterPrograms > 0
 	if withRegs {
-		jobs = append(jobs, func() error {
+		jobs = append(jobs, func() (jobOut, error) {
+			out := jobOut{name: "rd"}
 			rdDS, err := camp.CollectRegisters(true, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
 			if err != nil {
-				return err
+				return out, err
 			}
-			d.rd, _, _, err = fitLevel(ctx, rdDS, 32, cfg)
-			return err
-		}, func() error {
+			res, err := fitLevel(ctx, out.name, rdDS, 32, cfg)
+			out.vrep, out.conf = res.vrep, res.conf
+			if err != nil {
+				return out, err
+			}
+			d.rd, rep.RdTrainAccuracy = res.level, res.acc
+			return out, nil
+		}, func() (jobOut, error) {
+			out := jobOut{name: "rr"}
 			rrDS, err := camp.CollectRegisters(false, cfg.RegisterPrograms, cfg.RegisterTracesPerProgram)
 			if err != nil {
-				return err
+				return out, err
 			}
-			d.rr, _, _, err = fitLevel(ctx, rrDS, 32, cfg)
-			return err
+			res, err := fitLevel(ctx, out.name, rrDS, 32, cfg)
+			out.vrep, out.conf = res.vrep, res.conf
+			if err != nil {
+				return out, err
+			}
+			d.rr, rep.RrTrainAccuracy = res.level, res.acc
+			return out, nil
 		})
 	}
-	if err := parallel.ForErrCtx(ctx, len(jobs), func(i int) error { return jobs[i]() }); err != nil {
-		return nil, err
+	outs := make([]jobOut, len(jobs))
+	if err := parallel.ForErrCtx(ctx, len(jobs), func(i int) error {
+		out, err := jobs[i]()
+		outs[i] = out
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	rep.LevelConfusion = map[string][][]int{}
+	for _, out := range outs {
+		rep.Validation.Merge(out.vrep)
+		if out.conf != nil {
+			rep.LevelConfusion[out.name] = out.conf
+		}
 	}
 	d.haveRegs = withRegs
-	return d, nil
+	trainSpan.End()
+	rep.Stages = tracer.Tree()
+	return d, rep, nil
 }

@@ -240,15 +240,19 @@ func TestFitLevelToleratesDefectiveTraces(t *testing.T) {
 	ds.Append(constTrace, 1, 1)
 	ds.Append([]float64{1, 2, 3}, 0, 0)
 
-	lvl, acc, vrep, err := fitLevel(context.Background(), ds, 2, cfg)
+	res, err := fitLevel(context.Background(), "test", ds, 2, cfg)
 	if err != nil {
 		t.Fatalf("fitLevel on poisoned dataset: %v", err)
 	}
+	lvl, acc, vrep := res.level, res.acc, res.vrep
 	if vrep.Checked != clean+3 || vrep.NonFinite != 1 || vrep.Constant != 1 || vrep.WrongLength != 1 {
 		t.Fatalf("validation report = %+v, want 3 rejections across kinds", vrep)
 	}
 	if acc <= 0.5 {
 		t.Fatalf("train accuracy %g suspiciously low after sanitization", acc)
+	}
+	if len(res.conf) != 2 {
+		t.Fatalf("confusion matrix has %d rows, want 2", len(res.conf))
 	}
 
 	// No NaN anywhere in the persisted pipeline or classifier state.

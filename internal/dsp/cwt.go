@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -19,15 +19,40 @@ const (
 	kernelHalfWidthSigmas = 4.0
 )
 
-// transformCount counts completed scalogram computations process-wide. It is
-// a test hook: the redundancy-elimination layer (core.Disassembler's shared
-// scalogram) asserts "exactly one CWT per trace" by reading the delta.
-var transformCount atomic.Uint64
+// transformCount counts completed scalogram computations process-wide, as an
+// always-live registry counter (attached under "dsp.cwt.transforms" whenever
+// a registry is installed). The redundancy-elimination layer
+// (core.Disassembler's shared scalogram) asserts "exactly one CWT per trace"
+// by reading the delta.
+var transformCount = obs.NewCounter()
+
+// met holds the dsp instrument handles; nil (no-op) until a registry is
+// installed with obs.SetDefault.
+var met struct {
+	planBuilds *obs.Counter // dsp.cwt.plan_cache.builds — FFT plans built
+	planHits   *obs.Counter // dsp.cwt.plan_cache.hits — plans served from cache
+	poolReuses *obs.Counter // dsp.cwt.pool.reuses — scratch buffers recycled
+	poolAllocs *obs.Counter // dsp.cwt.pool.allocs — scratch buffers allocated
+}
+
+func init() {
+	obs.OnDefault(func(r *obs.Registry) {
+		r.Attach("dsp.cwt.transforms", transformCount)
+		met.planBuilds = r.Counter("dsp.cwt.plan_cache.builds")
+		met.planHits = r.Counter("dsp.cwt.plan_cache.hits")
+		met.poolReuses = r.Counter("dsp.cwt.pool.reuses")
+		met.poolAllocs = r.Counter("dsp.cwt.pool.allocs")
+	})
+}
 
 // TransformCount returns the cumulative number of scalogram computations
 // (Transform/TransformFlat calls, and per-trace items of the batch paths)
 // performed by all CWT instances since process start.
-func TransformCount() uint64 { return transformCount.Load() }
+//
+// Deprecated: the count now lives in the metrics registry as the
+// "dsp.cwt.transforms" counter; this shim remains for the equivalence tests
+// that pin the one-transform-per-trace invariant.
+func TransformCount() uint64 { return uint64(transformCount.Value()) }
 
 // cwtPlan caches the kernel spectra at one padded FFT length, so every trace
 // of the same length costs one forward FFT plus one inverse FFT per scale.
@@ -105,13 +130,16 @@ func (c *CWT) planFor(n int) *cwtPlan {
 	p := c.plans[m]
 	c.planMu.RUnlock()
 	if p != nil {
+		met.planHits.Inc()
 		return p
 	}
 	c.planMu.Lock()
 	defer c.planMu.Unlock()
 	if p = c.plans[m]; p != nil {
+		met.planHits.Inc()
 		return p
 	}
+	met.planBuilds.Inc()
 	p = &cwtPlan{m: m, kernelFFTs: make([][]complex128, len(c.kernels))}
 	for j, kern := range c.kernels {
 		fk := make([]complex128, m)
@@ -128,6 +156,7 @@ func (c *CWT) getBuf(m int) []complex128 {
 	if v := c.scratch.Get(); v != nil {
 		b := *(v.(*[]complex128))
 		if cap(b) >= m {
+			met.poolReuses.Inc()
 			b = b[:m]
 			for i := range b {
 				b[i] = 0
@@ -135,6 +164,7 @@ func (c *CWT) getBuf(m int) []complex128 {
 			return b
 		}
 	}
+	met.poolAllocs.Inc()
 	return make([]complex128, m)
 }
 
@@ -262,6 +292,8 @@ func (c *CWT) TransformFlatBatchCtx(ctx context.Context, xs [][]float64) ([][]fl
 	if len(xs) == 0 {
 		return out, nil
 	}
+	ctx, sp := obs.Span(ctx, "dsp.cwt.batch")
+	defer sp.End()
 	n := len(xs[0])
 	for i, x := range xs {
 		if len(x) != n {
@@ -301,7 +333,7 @@ func (c *CWT) TransformFlatBatchCtx(ctx context.Context, xs [][]float64) ([][]fl
 		return nil, err
 	}
 	release()
-	transformCount.Add(uint64(len(xs)))
+	transformCount.Add(int64(len(xs)))
 	return out, nil
 }
 

@@ -4,10 +4,34 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
+
+// met holds the feature-layer instrument handles; nil (no-op) until a
+// registry is installed with obs.SetDefault.
+var met struct {
+	cacheHits   *obs.Counter   // features.scalogram_cache.hits — pass-2 reuses
+	cacheMisses *obs.Counter   // features.scalogram_cache.misses — pass-2 recomputes
+	maskSkipped *obs.Counter   // features.mask.skipped — non-finite NVP points dropped
+	pointsKept  *obs.Counter   // features.points.selected — unified DNVP sizes
+	pairSeconds *obs.Histogram // features.select_pair.seconds — per-pair KL selection
+	fitSeconds  *obs.Histogram // features.fit.seconds — whole FitPipeline calls
+}
+
+func init() {
+	obs.OnDefault(func(r *obs.Registry) {
+		met.cacheHits = r.Counter("features.scalogram_cache.hits")
+		met.cacheMisses = r.Counter("features.scalogram_cache.misses")
+		met.maskSkipped = r.Counter("features.mask.skipped")
+		met.pointsKept = r.Counter("features.points.selected")
+		met.pairSeconds = r.Histogram("features.select_pair.seconds")
+		met.fitSeconds = r.Histogram("features.fit.seconds")
+	})
+}
 
 // PipelineConfig controls the end-to-end feature extraction of Fig. 1:
 // CWT → KL selection → normalization → PCA.
@@ -124,6 +148,9 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 			return nil, fmt.Errorf("features: label %d out of range [0,%d)", l, nClasses)
 		}
 	}
+	fitStart := time.Now()
+	ctx, fitSpan := obs.Span(ctx, "features.fit")
+	defer fitSpan.End()
 
 	// Pass 1: accumulate per-class and per-(class, program) statistics.
 	// Scalograms are computed in parallel (chunked to bound peak memory) and
@@ -150,13 +177,15 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 	if useCache {
 		flats = make([][]float64, n)
 	}
+	statsCtx, statsSpan := obs.Span(ctx, "features.cwt_stats")
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		sub, err := sel.CWT.TransformFlatBatchCtx(ctx, traces[lo:hi])
+		sub, err := sel.CWT.TransformFlatBatchCtx(statsCtx, traces[lo:hi])
 		if err != nil {
+			statsSpan.End()
 			return nil, err
 		}
 		if cfg.PerTraceNorm {
@@ -183,22 +212,28 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 			}
 		}
 	}
+	statsSpan.End()
 	// Not-varying masks per class (nil masks disable the filter).
 	masks := make([][]bool, nClasses)
 	if cfg.UseMask {
+		_, maskSpan := obs.Span(ctx, "features.masks")
 		for c := 0; c < nClasses; c++ {
 			if err := ctx.Err(); err != nil {
+				maskSpan.End()
 				return nil, err
 			}
 			if len(perProgram[c]) >= 2 {
 				m, skipped, err := sel.NotVaryingMask(perProgram[c])
 				if err != nil {
+					maskSpan.End()
 					return nil, fmt.Errorf("features: not-varying mask for class %d: %w", c, err)
 				}
 				pl.MaskSkipped += skipped
 				masks[c] = m
 			}
 		}
+		maskSpan.End()
+		met.maskSkipped.Add(int64(pl.MaskSkipped))
 	}
 	// Pairwise DNVP selection, parallel over the O(nClasses²) class pairs.
 	// Each pair writes its own slot; the union below walks the slots in the
@@ -214,18 +249,24 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 		}
 	}
 	pairs := make([]PairFeatures, len(jobs))
-	if err := parallel.ForErrCtx(ctx, len(jobs), func(i int) error {
+	selCtx, selSpan := obs.Span(ctx, "features.select_pairs")
+	if err := parallel.ForErrCtx(selCtx, len(jobs), func(i int) error {
 		j := jobs[i]
+		start := timeIfEnabled(met.pairSeconds)
 		pf, err := sel.SelectPair(j.a, j.b, classStats[j.a], classStats[j.b], masks[j.a], masks[j.b])
+		observeSince(met.pairSeconds, start)
 		if err != nil {
 			return err
 		}
 		pairs[i] = pf
 		return nil
 	}); err != nil {
+		selSpan.End()
 		return nil, err
 	}
+	selSpan.End()
 	points := UnionPoints(pairs)
+	met.pointsKept.Add(int64(len(points)))
 	pos := map[Point]int{}
 	for i, p := range points {
 		pos[p] = i
@@ -244,14 +285,18 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 	// scalograms are already normalized, so this pass is pure indexing;
 	// without the cache the scalograms are recomputed in parallel.
 	feats := make([][]float64, n)
+	extCtx, extSpan := obs.Span(ctx, "features.extract")
 	if useCache {
-		if err := parallel.ForCtx(ctx, n, func(i int) {
+		met.cacheHits.Add(int64(n))
+		if err := parallel.ForCtx(extCtx, n, func(i int) {
 			feats[i] = pl.pointsFromNormalized(flats[i])
 		}); err != nil {
+			extSpan.End()
 			return nil, err
 		}
 	} else {
-		if err := parallel.ForErrCtx(ctx, n, func(i int) error {
+		met.cacheMisses.Add(int64(n))
+		if err := parallel.ForErrCtx(extCtx, n, func(i int) error {
 			f, err := pl.rawFeatures(traces[i])
 			if err != nil {
 				return err
@@ -259,16 +304,21 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 			feats[i] = f
 			return nil
 		}); err != nil {
+			extSpan.End()
 			return nil, err
 		}
 	}
+	extSpan.End()
+	_, pcaSpan := obs.Span(ctx, "features.pca")
 	if cfg.Standardize {
 		z := &stats.ZScoreNormalizer{}
 		if err := z.Fit(feats); err != nil {
+			pcaSpan.End()
 			return nil, err
 		}
 		pl.z = z
 		if feats, err = z.ApplyAll(feats); err != nil {
+			pcaSpan.End()
 			return nil, err
 		}
 	}
@@ -277,11 +327,32 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 		k = len(points)
 	}
 	pca, err := FitPCA(feats, k)
+	pcaSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	pl.pca = pca
+	observeSince(met.fitSeconds, fitStart)
 	return pl, nil
+}
+
+// timeIfEnabled returns the current time when h is live, or the zero time
+// when metrics are disabled — paired with observeSince so the disabled path
+// skips the clock reads entirely.
+func timeIfEnabled(h *obs.Histogram) time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeSince records the seconds elapsed since start into h; no-op when
+// metrics are disabled or start is the zero time.
+func observeSince(h *obs.Histogram, start time.Time) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
 }
 
 // RawScalogram computes the flattened, un-normalized CWT scalogram of a

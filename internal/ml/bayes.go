@@ -28,6 +28,7 @@ const minVar = 1e-12
 
 // Fit implements Classifier.
 func (g *GaussianNB) Fit(X [][]float64, y []int) error {
+	defer nbMet.timeFit()()
 	nc, p, err := validateTraining(X, y)
 	if err != nil {
 		return err
@@ -83,6 +84,7 @@ func (g *GaussianNB) LogPosteriors(x []float64) ([]float64, error) {
 
 // Predict implements Classifier.
 func (g *GaussianNB) Predict(x []float64) (int, error) {
+	nbMet.predicts.Inc()
 	s, err := g.LogPosteriors(x)
 	if err != nil {
 		return 0, err

@@ -30,6 +30,7 @@ func (l *LDA) Name() string { return "LDA" }
 
 // Fit implements Classifier.
 func (l *LDA) Fit(X [][]float64, y []int) error {
+	defer ldaMet.timeFit()()
 	nc, p, err := validateTraining(X, y)
 	if err != nil {
 		return err
@@ -94,6 +95,7 @@ func (l *LDA) Scores(x []float64) ([]float64, error) {
 
 // Predict implements Classifier.
 func (l *LDA) Predict(x []float64) (int, error) {
+	ldaMet.predicts.Inc()
 	s, err := l.Scores(x)
 	if err != nil {
 		return 0, err
@@ -120,6 +122,7 @@ func (q *QDA) Name() string { return "QDA" }
 
 // Fit implements Classifier.
 func (q *QDA) Fit(X [][]float64, y []int) error {
+	defer qdaMet.timeFit()()
 	nc, p, err := validateTraining(X, y)
 	if err != nil {
 		return err
@@ -177,6 +180,7 @@ func (q *QDA) Scores(x []float64) ([]float64, error) {
 
 // Predict implements Classifier.
 func (q *QDA) Predict(x []float64) (int, error) {
+	qdaMet.predicts.Inc()
 	s, err := q.Scores(x)
 	if err != nil {
 		return 0, err

@@ -25,6 +25,7 @@ func (k *KNN) Name() string { return fmt.Sprintf("%d-NN", k.K) }
 
 // Fit implements Classifier (memorizes the training set).
 func (k *KNN) Fit(X [][]float64, y []int) error {
+	defer knnMet.timeFit()()
 	if k.K < 1 {
 		return fmt.Errorf("ml: kNN needs k >= 1, got %d", k.K)
 	}
@@ -44,6 +45,7 @@ func (k *KNN) Fit(X [][]float64, y []int) error {
 
 // Predict implements Classifier.
 func (k *KNN) Predict(x []float64) (int, error) {
+	knnMet.predicts.Inc()
 	if k.X == nil {
 		return 0, errors.New("ml: kNN used before Fit")
 	}

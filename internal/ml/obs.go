@@ -1,0 +1,60 @@
+package ml
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// clfMetrics bundles the per-classifier instrument handles. All handles are
+// nil (no-op) until a registry is installed with obs.SetDefault, so the
+// disabled path costs one nil check per Fit and one per Predict.
+type clfMetrics struct {
+	fits     *obs.Counter   // ml.<kind>.fits
+	predicts *obs.Counter   // ml.<kind>.predicts
+	fitSec   *obs.Histogram // ml.<kind>.fit.seconds
+}
+
+// timeFit starts timing one Fit call; call the returned func when the fit
+// ends (success or error — both are fit work).
+func (m *clfMetrics) timeFit() func() {
+	if m.fitSec == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() {
+		m.fits.Inc()
+		m.fitSec.Observe(time.Since(start).Seconds())
+	}
+}
+
+var noopEnd = func() {}
+
+// Per-algorithm handles plus the cross-validation / grid-search instruments.
+var (
+	ldaMet, qdaMet, nbMet, knnMet, svmMet clfMetrics
+
+	met struct {
+		cvFolds   *obs.Counter   // ml.cv.folds — CV folds evaluated
+		foldScore *obs.Histogram // ml.cv.fold_accuracy — per-fold validation accuracy
+		gridCells *obs.Counter   // ml.svm.grid_cells — (C, γ) cells scored
+	}
+)
+
+func init() {
+	obs.OnDefault(func(r *obs.Registry) {
+		bind := func(m *clfMetrics, kind string) {
+			m.fits = r.Counter("ml." + kind + ".fits")
+			m.predicts = r.Counter("ml." + kind + ".predicts")
+			m.fitSec = r.HistogramWith("ml."+kind+".fit.seconds", obs.DurationBuckets())
+		}
+		bind(&ldaMet, "lda")
+		bind(&qdaMet, "qda")
+		bind(&nbMet, "bayes")
+		bind(&knnMet, "knn")
+		bind(&svmMet, "svm")
+		met.cvFolds = r.Counter("ml.cv.folds")
+		met.foldScore = r.HistogramWith("ml.cv.fold_accuracy", obs.UnitBuckets())
+		met.gridCells = r.Counter("ml.svm.grid_cells")
+	})
+}

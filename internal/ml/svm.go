@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -193,6 +195,7 @@ func (s *SVM) Name() string { return fmt.Sprintf("SVM(C=%g,%s)", s.C, s.Kernel.N
 
 // Fit implements Classifier.
 func (s *SVM) Fit(X [][]float64, y []int) error {
+	defer svmMet.timeFit()()
 	if s.C <= 0 {
 		return fmt.Errorf("ml: SVM needs C > 0, got %g", s.C)
 	}
@@ -236,6 +239,7 @@ func (s *SVM) Fit(X [][]float64, y []int) error {
 
 // Predict implements Classifier.
 func (s *SVM) Predict(x []float64) (int, error) {
+	svmMet.predicts.Inc()
 	if len(s.machines) == 0 {
 		return 0, errors.New("ml: SVM used before Fit")
 	}
@@ -302,6 +306,8 @@ func GridSearchSVMCtx(ctx context.Context, X [][]float64, y []int, cs, gammas []
 	if folds < 2 || len(X) < folds {
 		return nil, GridSearchResult{}, fmt.Errorf("ml: cannot run %d-fold CV on %d samples", folds, len(X))
 	}
+	ctx, gridSpan := obs.Span(ctx, "ml.svm.grid")
+	defer gridSpan.End()
 	type cell struct {
 		c, g float64
 		perm []int
@@ -320,6 +326,8 @@ func GridSearchSVMCtx(ctx context.Context, X [][]float64, y []int, cs, gammas []
 			return err
 		}
 		scores[i] = score
+		met.gridCells.Inc()
+		slog.Debug("svm grid cell scored", "C", cl.c, "gamma", cl.g, "cv_accuracy", score)
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// processCPUNanos is unavailable on this platform; spans report CPU as 0.
+func processCPUNanos() int64 { return 0 }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// processCPUNanos returns the process's cumulative user+system CPU time in
+// nanoseconds, or 0 when unavailable. Spans diff it to report per-stage CPU
+// time (which exceeds wall time on parallel stages — that gap is the
+// parallelism factor).
+func processCPUNanos() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

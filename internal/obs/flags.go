@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+)
+
+// Options bundles the observability knobs both CLIs expose. Register wires
+// them onto a FlagSet; Start turns the parsed values into a live Session.
+type Options struct {
+	MetricsOut  string // -metrics-out: end-of-run metrics snapshot JSON path ("-" = stdout)
+	TraceOut    string // -trace-out: end-of-run stage-trace JSON path ("-" = stdout)
+	ManifestOut string // -manifest-out: end-of-run RunManifest JSON path ("-" = stdout)
+	LogFormat   string // -log-format: text | json
+	PprofAddr   string // -pprof: net/http/pprof listen address
+}
+
+// Register declares the observability flags on fs.
+func (o *Options) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write the end-of-run metrics snapshot JSON to this file (\"-\" = stdout)")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write the end-of-run stage-trace JSON to this file (\"-\" = stdout)")
+	fs.StringVar(&o.ManifestOut, "manifest-out", "", "write the end-of-run manifest JSON (config, report, metrics, trace) to this file (\"-\" = stdout)")
+	fs.StringVar(&o.LogFormat, "log-format", "text", "log output format: text or json")
+	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof, /metrics and /metrics.json on this address (e.g. localhost:6060)")
+}
+
+// Session is the live observability state of one CLI run: the installed
+// registry, the run's tracer, and the optional pprof server. Create it with
+// Options.Start, finish with Close.
+type Session struct {
+	Registry *Registry
+	Tracer   *Tracer
+	opts     Options
+	pprof    *PprofServer
+	start    time.Time
+	cpuStart int64
+}
+
+// Start installs the requested observability and returns a context carrying
+// the run's tracer. The registry is always installed for a CLI run — the
+// instruments are cheap and their snapshot feeds -metrics-out, -pprof and
+// the manifest alike; the nil-registry fast path exists for library use.
+// Start must run before any pipeline work so the instrument handles rebind
+// while nothing is in flight.
+func (o Options) Start(ctx context.Context) (context.Context, *Session, error) {
+	if err := SetupLogging(o.LogFormat, os.Stderr, false); err != nil {
+		return ctx, nil, err
+	}
+	s := &Session{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(),
+		opts:     o,
+		start:    time.Now(),
+		cpuStart: processCPUNanos(),
+	}
+	SetDefault(s.Registry)
+	ctx = WithTracer(ctx, s.Tracer)
+	if o.PprofAddr != "" {
+		srv, err := ServePprof(o.PprofAddr, s.Registry)
+		if err != nil {
+			return ctx, nil, err
+		}
+		s.pprof = srv
+		slog.Info("pprof listening", "addr", srv.Addr.String())
+	}
+	return ctx, s, nil
+}
+
+// Manifest assembles a RunManifest of the given kind from the session's
+// current state: build info, worker count, wall/CPU time, the metrics
+// snapshot and the stage trace. The caller attaches its config and report.
+func (s *Session) Manifest(kind string, workers int) *RunManifest {
+	m := NewManifest(kind)
+	m.Workers = workers
+	m.WallSeconds = time.Since(s.start).Seconds()
+	if c := processCPUNanos(); c > 0 && s.cpuStart > 0 {
+		m.CPUSeconds = float64(c-s.cpuStart) / 1e9
+	}
+	m.Metrics = s.Registry.Snapshot()
+	m.Trace = s.Tracer.Tree()
+	return m
+}
+
+// Close renders the end-of-run artifacts — the stderr stage-timing table and
+// the -metrics-out / -trace-out / -manifest-out files — and shuts the pprof
+// server down. manifest may be nil when the run produced none (then
+// -manifest-out writes a bare session manifest). The first error wins but
+// every sink is attempted.
+func (s *Session) Close(manifest *RunManifest, workers int) error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	keep(s.Tracer.WriteTable(os.Stderr))
+	if s.opts.MetricsOut != "" {
+		keep(writeSink(s.opts.MetricsOut, func(f *os.File) error {
+			return s.Registry.WriteJSON(f)
+		}))
+	}
+	if s.opts.TraceOut != "" {
+		keep(writeSink(s.opts.TraceOut, func(f *os.File) error {
+			return writeJSONValue(f, s.Tracer.Tree())
+		}))
+	}
+	if s.opts.ManifestOut != "" {
+		if manifest == nil {
+			manifest = s.Manifest("session", workers)
+		}
+		keep(writeSink(s.opts.ManifestOut, func(f *os.File) error {
+			_, err := manifest.WriteTo(f)
+			return err
+		}))
+	}
+	keep(s.pprof.Close())
+	return firstErr
+}
+
+// writeJSONValue writes v as indented JSON.
+func writeJSONValue(f *os.File, v any) error {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// writeSink writes via fn to path, with "-" selecting stdout.
+func writeSink(path string, fn func(*os.File) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// maxRelErr is the quantile error bound the geometric layout guarantees: the
+// true value and the estimate share a bucket, so they differ by at most one
+// growth factor (~19% for DurationBuckets) plus interpolation slack.
+const maxRelErr = 0.25
+
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Quantile estimates must stay within the layout's relative error bound on
+// distributions spanning several orders of magnitude.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(i int) float64
+	}{
+		// Uniform microseconds-to-milliseconds.
+		{"uniform", func(i int) float64 { return 1e-6 + float64(i)*1e-6 }},
+		// Geometric sweep across 6 decades.
+		{"geometric", func(i int) float64 { return 1e-6 * math.Pow(10, 6*float64(i)/9999) }},
+		// Bimodal: fast path ~10µs, slow path ~100ms.
+		{"bimodal", func(i int) float64 {
+			if i%10 == 0 {
+				return 0.1 + float64(i)*1e-7
+			}
+			return 1e-5 + float64(i)*1e-9
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(DurationBuckets())
+			vals := make([]float64, 10000)
+			for i := range vals {
+				vals[i] = tc.gen(i)
+				h.Observe(vals[i])
+			}
+			sort.Float64s(vals)
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+				got := h.Quantile(q)
+				want := exactQuantile(vals, q)
+				if want == 0 {
+					continue
+				}
+				if rel := math.Abs(got-want) / want; rel > maxRelErr {
+					t.Errorf("q=%g: got %g want %g (rel err %.3f > %.2f)", q, got, want, rel, maxRelErr)
+				}
+			}
+			if h.Count() != 10000 {
+				t.Fatalf("count = %d", h.Count())
+			}
+			if h.Min() != vals[0] || h.Max() != vals[len(vals)-1] {
+				t.Fatalf("min/max = %g/%g, want %g/%g", h.Min(), h.Max(), vals[0], vals[len(vals)-1])
+			}
+		})
+	}
+}
+
+// Out-of-range observations land in the underflow/overflow buckets and keep
+// quantiles anchored to the observed extremes.
+func TestHistogramUnderOverflow(t *testing.T) {
+	h := NewHistogram(BucketLayout{Min: 1, Growth: 2, NumBuckets: 4}) // finite range [1, 16)
+	h.Observe(0.001)                                                 // underflow
+	h.Observe(1000)                                                  // overflow
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.99); q > 1000 || q < 16 {
+		t.Fatalf("overflow quantile %g out of [16, 1000]", q)
+	}
+	if q := h.Quantile(0.01); q > 1 || q < 0.001 {
+		t.Fatalf("underflow quantile %g out of [0.001, 1]", q)
+	}
+}
+
+// NaN/Inf observations are dropped, and every snapshot field stays finite.
+func TestHistogramDropsNonFinite(t *testing.T) {
+	h := NewHistogram(DurationBuckets())
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	if h.Count() != 0 {
+		t.Fatalf("non-finite observations counted: %d", h.Count())
+	}
+	h.Observe(0.5)
+	s := h.Snapshot()
+	for name, v := range map[string]float64{
+		"sum": s.Sum, "mean": s.Mean, "min": s.Min, "max": s.Max,
+		"p50": s.P50, "p95": s.P95, "p99": s.P99,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("snapshot %s = %v not finite", name, v)
+		}
+	}
+}
+
+// Concurrent observers must lose no updates (run under -race in CI).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DurationBuckets())
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1e-5 * float64(1+(g+i)%100))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	var sum float64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < per; i++ {
+			sum += 1e-5 * float64(1+(g+i)%100)
+		}
+	}
+	if math.Abs(h.Sum()-sum)/sum > 1e-9 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), sum)
+	}
+}

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// SetupLogging installs a process-wide slog handler writing to w in the
+// requested format: "text" (human-readable key=value) or "json" (one JSON
+// object per line, for log shippers). verbose lowers the level to Debug.
+func SetupLogging(format string, w io.Writer, verbose bool) error {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}

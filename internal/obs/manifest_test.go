@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenManifest builds a fully deterministic manifest: build info is set by
+// hand (CollectBuildInfo would leak the host toolchain into the golden file)
+// and timings are fixed.
+func goldenManifest() *RunManifest {
+	r := NewRegistry()
+	r.Counter("dsp.cwt.transforms").Add(42)
+	r.Gauge("parallel.workers").Set(2)
+	r.Histogram("features.fit.seconds").Observe(0.5)
+
+	type levelStats struct {
+		Accuracy float64   `json:"accuracy"`
+		Skew     float64   `json:"skew"`
+		Scores   []float64 `json:"scores"`
+	}
+	m := &RunManifest{
+		SchemaVersion: ManifestSchemaVersion,
+		Kind:          "golden",
+		Build: BuildInfo{
+			GoVersion:   "go1.22.0",
+			Path:        "repro",
+			Version:     "(devel)",
+			VCSRevision: "deadbeef",
+			NumCPU:      2,
+		},
+		Workers:     2,
+		WallSeconds: 1.5,
+		CPUSeconds:  2.25,
+		Config: map[string]any{
+			"programs": 4,
+			"gamma":    math.NaN(), // must scrub to null
+		},
+		Report: levelStats{
+			Accuracy: 0.9921875,
+			Skew:     math.Inf(1), // must scrub to null
+			Scores:   []float64{1, math.Inf(-1), 0.5},
+		},
+		Metrics: r.Snapshot(),
+		Trace: []*SpanNode{{
+			Name: "core.train", StartMS: 0, WallMS: 1500, CPUMS: 2250,
+			Children: []*SpanNode{{
+				Name: "features.fit", StartMS: 10, WallMS: 900,
+				BusyMS: 1700, Workers: 2, Utilization: 0.944,
+			}},
+		}},
+		Notes: map[string]any{"seed": 1, "nan_note": math.NaN()},
+	}
+	return m
+}
+
+// The manifest JSON must be byte-stable and free of NaN/Inf — golden-file
+// checked so schema drift is an explicit diff, not a silent change.
+func TestManifestGoldenJSON(t *testing.T) {
+	got, err := goldenManifest().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(got) {
+		t.Fatalf("manifest JSON invalid:\n%s", got)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(string(got), bad) {
+			t.Fatalf("manifest JSON leaked %s:\n%s", bad, got)
+		}
+	}
+	again, err := goldenManifest().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Fatal("two identical manifests marshalled differently")
+	}
+
+	golden := filepath.Join("testdata", "manifest_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("manifest JSON drifted from golden file (run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Scrub handles every value shape the config/report structs can contain.
+func TestScrub(t *testing.T) {
+	type inner struct {
+		A float64 `json:"a"`
+		B string  // no tag: field name key
+		c int     // unexported: dropped
+	}
+	in := map[string]any{
+		"nan":    math.NaN(),
+		"inf":    math.Inf(-1),
+		"nested": &inner{A: math.NaN(), B: "ok", c: 3},
+		"list":   []float64{1, math.NaN()},
+		"fn":     func() {}, // unrepresentable: dropped to null
+	}
+	out, ok := Scrub(in).(map[string]any)
+	if !ok {
+		t.Fatalf("Scrub returned %T", Scrub(in))
+	}
+	if out["nan"] != nil || out["inf"] != nil || out["fn"] != nil {
+		t.Fatalf("non-finite or unrepresentable values survived: %v", out)
+	}
+	nested, ok := out["nested"].(map[string]any)
+	if !ok {
+		t.Fatalf("nested = %T", out["nested"])
+	}
+	if nested["a"] != nil || nested["B"] != "ok" {
+		t.Fatalf("nested scrub wrong: %v", nested)
+	}
+	if _, leaked := nested["c"]; leaked {
+		t.Fatal("unexported field leaked")
+	}
+	list, ok := out["list"].([]any)
+	if !ok || len(list) != 2 || list[0] != 1.0 || list[1] != nil {
+		t.Fatalf("list scrub wrong: %v", out["list"])
+	}
+	if _, err := json.Marshal(out); err != nil {
+		t.Fatalf("scrubbed value not marshallable: %v", err)
+	}
+}

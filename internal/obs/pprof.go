@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// PprofServer is a live net/http/pprof endpoint plus, when a registry is
+// installed, /metrics (Prometheus text) and /metrics.json (snapshot).
+type PprofServer struct {
+	Addr net.Addr
+	srv  *http.Server
+	done chan error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// ServePprof starts an HTTP server on addr (e.g. "localhost:6060" or ":0")
+// exposing /debug/pprof/ on a private mux — the global DefaultServeMux is
+// not touched. The listener is bound synchronously, so the returned Addr is
+// immediately connectable; serving continues in a background goroutine until
+// Close.
+func ServePprof(addr string, reg *Registry) (*PprofServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			_, _ = w.Write([]byte("{}\n"))
+			return
+		}
+		_ = reg.WriteJSON(w)
+	})
+	p := &PprofServer{
+		Addr: ln.Addr(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan error, 1),
+	}
+	go func() { p.done <- p.srv.Serve(ln) }()
+	return p, nil
+}
+
+// Close shuts the server down and waits for the serve loop to exit. Safe to
+// call more than once; later calls return the first result.
+func (p *PprofServer) Close() error {
+	if p == nil {
+		return nil
+	}
+	p.closeOnce.Do(func() {
+		p.closeErr = p.srv.Close()
+		<-p.done
+	})
+	return p.closeErr
+}

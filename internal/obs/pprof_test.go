@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Smoke test the pprof/metrics HTTP surface on an ephemeral port. Skipped
+// under -short; CI runs the full suite so this covers the endpoint wiring.
+func TestPprofEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping pprof endpoint smoke test in -short mode")
+	}
+	reg := NewRegistry()
+	reg.Counter("dsp.cwt.transforms").Add(9)
+	srv, err := ServePprof("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	get := func(path string) (string, string) {
+		t.Helper()
+		url := fmt.Sprintf("http://%s%s", srv.Addr, path)
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index missing profile listing:\n%.400s", body)
+	}
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "dsp_cwt_transforms 9") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	body, ctype = get("/metrics.json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/metrics.json content-type = %q", ctype)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v\n%s", err, body)
+	}
+
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects the spans of one run into a stage tree. It is safe for
+// concurrent use: spans started from parallel workers record themselves
+// under a single mutex at End (stage granularity, never per-point). The
+// span count is capped so a runaway loop cannot exhaust memory.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []*SpanHandle
+	nextID  atomic.Int64
+	start   time.Time
+	dropped atomic.Int64
+	// MaxSpans bounds retained spans; extra spans are counted in Dropped.
+	MaxSpans int
+}
+
+// NewTracer returns an empty tracer anchored at the current time.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), MaxSpans: 8192}
+}
+
+// Dropped reports how many spans were discarded over the MaxSpans cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer attaches a tracer to the context; Span calls below it record
+// into the tracer.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the tracer attached to ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// ContextSpan returns the innermost active span of ctx, or nil. Parallel
+// loops use it to attribute per-body busy time to the enclosing stage.
+func ContextSpan(ctx context.Context) *SpanHandle {
+	s, _ := ctx.Value(spanKey).(*SpanHandle)
+	return s
+}
+
+// Span is one timed stage of a run. Started by obs.Span, finished by End.
+// A nil *SpanHandle is a valid no-op handle — the no-tracer fast path.
+type SpanHandle struct {
+	tracer   *Tracer
+	id       int64
+	parent   int64
+	name     string
+	start    time.Time
+	cpuStart int64
+
+	wall    time.Duration
+	cpu     time.Duration
+	busy    atomic.Int64 // ns of parallel-body work attributed to this span
+	workers atomic.Int64 // max worker count observed by loops under this span
+	ended   atomic.Bool
+}
+
+// Span starts a named span under ctx's tracer (nesting under ctx's current
+// span) and returns a derived context carrying the new span. When ctx has no
+// tracer the input context and a nil handle are returned — zero cost beyond
+// two context lookups.
+func Span(ctx context.Context, name string) (context.Context, *SpanHandle) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	sp := &SpanHandle{
+		tracer:   t,
+		id:       t.nextID.Add(1),
+		name:     name,
+		start:    time.Now(),
+		cpuStart: processCPUNanos(),
+	}
+	if parent := ContextSpan(ctx); parent != nil {
+		sp.parent = parent.id
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// End finishes the span, capturing wall and process-CPU time, and records it
+// into the tracer. Safe to call once; extra calls and nil receivers are
+// no-ops.
+func (s *SpanHandle) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.wall = time.Since(s.start)
+	if c := processCPUNanos(); c > 0 && s.cpuStart > 0 {
+		s.cpu = time.Duration(c - s.cpuStart)
+	}
+	t := s.tracer
+	t.mu.Lock()
+	max := t.MaxSpans
+	if max <= 0 {
+		max = 8192
+	}
+	if len(t.spans) < max {
+		t.spans = append(t.spans, s)
+	} else {
+		t.dropped.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// Wall returns the span's wall-clock duration (valid after End; 0 for nil).
+func (s *SpanHandle) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.wall
+}
+
+// AddBusy attributes d of parallel-body work to the span. No-op on nil.
+func (s *SpanHandle) AddBusy(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.busy.Add(int64(d))
+}
+
+// NoteWorkers records the worker count of a parallel loop running under the
+// span (the maximum across loops wins). No-op on nil.
+func (s *SpanHandle) NoteWorkers(w int) {
+	if s == nil {
+		return
+	}
+	for {
+		old := s.workers.Load()
+		if int64(w) <= old || s.workers.CompareAndSwap(old, int64(w)) {
+			return
+		}
+	}
+}
+
+// SpanNode is one node of the rendered stage tree. Durations are in
+// milliseconds; Utilization is busy/(wall·workers) in [0, 1] when parallel
+// loop work was attributed to the span.
+type SpanNode struct {
+	Name        string      `json:"name"`
+	StartMS     float64     `json:"start_ms"`
+	WallMS      float64     `json:"wall_ms"`
+	CPUMS       float64     `json:"cpu_ms,omitempty"`
+	BusyMS      float64     `json:"busy_ms,omitempty"`
+	Workers     int         `json:"workers,omitempty"`
+	Utilization float64     `json:"utilization,omitempty"`
+	Children    []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree assembles the recorded spans into root-level nodes ordered by start
+// time. Returns nil on a nil tracer.
+func (t *Tracer) Tree() []*SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*SpanHandle, len(t.spans))
+	copy(spans, t.spans)
+	start := t.start
+	t.mu.Unlock()
+
+	nodes := make(map[int64]*SpanNode, len(spans))
+	order := make(map[int64]time.Time, len(spans))
+	for _, s := range spans {
+		n := &SpanNode{
+			Name:    s.name,
+			StartMS: float64(s.start.Sub(start)) / float64(time.Millisecond),
+			WallMS:  float64(s.wall) / float64(time.Millisecond),
+			CPUMS:   float64(s.cpu) / float64(time.Millisecond),
+			BusyMS:  float64(s.busy.Load()) / float64(time.Millisecond),
+			Workers: int(s.workers.Load()),
+		}
+		if n.BusyMS > 0 && n.WallMS > 0 && n.Workers > 0 {
+			n.Utilization = n.BusyMS / (n.WallMS * float64(n.Workers))
+			if n.Utilization > 1 {
+				n.Utilization = 1
+			}
+		}
+		nodes[s.id] = n
+		order[s.id] = s.start
+	}
+	var roots []*SpanNode
+	rootStart := map[*SpanNode]time.Time{}
+	for _, s := range spans {
+		n := nodes[s.id]
+		if p := nodes[s.parent]; p != nil {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+			rootStart[n] = order[s.id]
+		}
+	}
+	for _, n := range nodes {
+		children := n.Children
+		sort.SliceStable(children, func(i, j int) bool { return children[i].StartMS < children[j].StartMS })
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return rootStart[roots[i]].Before(rootStart[roots[j]]) })
+	return roots
+}
+
+// WriteTable renders the stage tree as an indented, human-readable table —
+// the end-of-run stderr summary. No output on a nil or empty tracer.
+func (t *Tracer) WriteTable(w io.Writer) error {
+	roots := t.Tree()
+	if len(roots) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%-44s %10s %10s %6s\n", "stage", "wall", "cpu", "util"); err != nil {
+		return err
+	}
+	var walk func(n *SpanNode, depth int) error
+	walk = func(n *SpanNode, depth int) error {
+		name := strings.Repeat("  ", depth) + n.Name
+		if len(name) > 44 {
+			name = name[:41] + "..."
+		}
+		util := "-"
+		if n.Utilization > 0 {
+			util = fmt.Sprintf("%3.0f%%", n.Utilization*100)
+		}
+		if _, err := fmt.Fprintf(w, "%-44s %10s %10s %6s\n",
+			name, fmtMS(n.WallMS), fmtMS(n.CPUMS), util); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d spans dropped over the %d-span cap)\n", d, t.MaxSpans); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtMS renders a millisecond quantity with an adaptive unit.
+func fmtMS(ms float64) string {
+	switch {
+	case ms <= 0:
+		return "-"
+	case ms < 1:
+		return fmt.Sprintf("%.0fµs", ms*1000)
+	case ms < 1000:
+		return fmt.Sprintf("%.1fms", ms)
+	default:
+		return fmt.Sprintf("%.2fs", ms/1000)
+	}
+}

@@ -20,10 +20,36 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // configured is the requested worker count; <= 0 selects runtime.NumCPU().
 var configured atomic.Int64
+
+// met holds the pool's instrument handles; nil (no-op) until a registry is
+// installed. When enabled, every loop body is timed so the busy time — per
+// stage (attributed to the context span) and process-wide — quantifies
+// worker utilization. When disabled the per-index overhead is two nil checks.
+var met struct {
+	loops   *obs.Counter // parallel.loops — For/ForErr/ForCtx/ForErrCtx calls
+	tasks   *obs.Counter // parallel.tasks — loop bodies executed
+	busyNS  *obs.Counter // parallel.busy_ns — summed body wall time
+	cancels *obs.Counter // parallel.cancellations — loops that returned ctx.Err()
+	workers *obs.Gauge   // parallel.workers — effective pool size
+}
+
+func init() {
+	obs.OnDefault(func(r *obs.Registry) {
+		met.loops = r.Counter("parallel.loops")
+		met.tasks = r.Counter("parallel.tasks")
+		met.busyNS = r.Counter("parallel.busy_ns")
+		met.cancels = r.Counter("parallel.cancellations")
+		met.workers = r.Gauge("parallel.workers")
+		met.workers.Set(float64(Workers()))
+	})
+}
 
 // SetWorkers pins the process-wide worker count used by For and ForErr.
 // n <= 0 restores the default (runtime.NumCPU()).
@@ -32,6 +58,7 @@ func SetWorkers(n int) {
 		n = 0
 	}
 	configured.Store(int64(n))
+	met.workers.Set(float64(Workers()))
 }
 
 // Workers returns the effective worker count (always >= 1).
@@ -50,6 +77,16 @@ func Workers() int {
 func For(n int, fn func(i int)) {
 	if n <= 0 {
 		return
+	}
+	met.loops.Inc()
+	if met.tasks != nil {
+		inner := fn
+		fn = func(i int) {
+			start := time.Now()
+			inner(i)
+			met.tasks.Inc()
+			met.busyNS.Add(int64(time.Since(start)))
+		}
 	}
 	w := Workers()
 	if w > n {
@@ -117,20 +154,43 @@ func ForErrCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	met.loops.Inc()
 	w := Workers()
 	if w > n {
 		w = n
 	}
+	// Per-body timing feeds both the process-wide busy counter and the
+	// enclosing stage span (worker utilization in the trace tree). Enabled
+	// only when a registry or a tracer span is live; otherwise the loop body
+	// runs unwrapped.
+	if sp := obs.ContextSpan(ctx); sp != nil || met.tasks != nil {
+		sp.NoteWorkers(w)
+		inner := fn
+		fn = func(i int) error {
+			start := time.Now()
+			err := inner(i)
+			d := time.Since(start)
+			met.tasks.Inc()
+			met.busyNS.Add(int64(d))
+			sp.AddBusy(d)
+			return err
+		}
+	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				met.cancels.Inc()
 				return err
 			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
-		return ctx.Err()
+		if err := ctx.Err(); err != nil {
+			met.cancels.Inc()
+			return err
+		}
+		return nil
 	}
 	var (
 		mu       sync.Mutex
@@ -173,5 +233,9 @@ func ForErrCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if firstErr != nil {
 		return firstErr
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		met.cancels.Inc()
+		return err
+	}
+	return nil
 }

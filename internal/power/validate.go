@@ -6,8 +6,27 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
+
+// met holds the validation instrument handles; nil (no-op) until a registry
+// is installed with obs.SetDefault.
+var met struct {
+	checked     *obs.Counter // power.validate.checked
+	nonFinite   *obs.Counter // power.validate.rejected_non_finite
+	constant    *obs.Counter // power.validate.rejected_constant
+	wrongLength *obs.Counter // power.validate.rejected_wrong_length
+}
+
+func init() {
+	obs.OnDefault(func(r *obs.Registry) {
+		met.checked = r.Counter("power.validate.checked")
+		met.nonFinite = r.Counter("power.validate.rejected_non_finite")
+		met.constant = r.Counter("power.validate.rejected_constant")
+		met.wrongLength = r.Counter("power.validate.rejected_wrong_length")
+	})
+}
 
 // Trace-level validation sentinels. Each is wrapped (with %w) into the
 // descriptive error ValidateTrace returns, so callers dispatch with
@@ -87,17 +106,22 @@ func (r ValidationReport) String() string {
 	return fmt.Sprintf("%d/%d traces rejected (%s)", r.Rejected(), r.Checked, strings.Join(parts, ", "))
 }
 
-// count files err into the report; returns false for a nil error.
+// count files err into the report (and the registry, when one is installed);
+// returns false for a nil error.
 func (r *ValidationReport) count(err error) bool {
+	met.checked.Inc()
 	switch {
 	case err == nil:
 		return false
 	case errors.Is(err, ErrNonFiniteTrace):
 		r.NonFinite++
+		met.nonFinite.Inc()
 	case errors.Is(err, ErrTraceLength):
 		r.WrongLength++
+		met.wrongLength.Inc()
 	default: // ErrConstantTrace and anything future lands here conservatively
 		r.Constant++
+		met.constant.Inc()
 	}
 	return true
 }

@@ -1,0 +1,173 @@
+package avr
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+// wordsOf reinterprets fuzz bytes as little-endian 16-bit opcode words.
+func wordsOf(data []byte) []uint16 {
+	words := make([]uint16, len(data)/2)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint16(data[2*i:])
+	}
+	return words
+}
+
+// FuzzDecode drives the opcode decoder with arbitrary word streams. For any
+// input, Decode must not panic; when it accepts, the decoded instruction
+// must consume a sane word count, survive Encode, and decode back to the
+// same canonical instruction (the encode∘decode fixed point).
+func FuzzDecode(f *testing.F) {
+	// One seed per encoding family: register-register ALU, immediate,
+	// implicit, flag, branch, 32-bit LDS/STS prefix, displacement, garbage.
+	seed := [][]uint16{
+		{0x0C01},         // ADD r0, r1
+		{0xE5A5},         // LDI r26, 0x55
+		{0x9488},         // CLC
+		{0xF409},         // BRNE .+2
+		{0x9000, 0x1234}, // LDS r0, 0x1234
+		{0x8008},         // LDD r0, Y+0
+		{0x9508},         // RET
+		{0xFFFF},
+		{0x0000},
+	}
+	for _, ws := range seed {
+		b := make([]byte, 2*len(ws))
+		for i, w := range ws {
+			binary.LittleEndian.PutUint16(b[2*i:], w)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := wordsOf(data)
+		in, n, err := Decode(words)
+		if err != nil {
+			return
+		}
+		if n < 1 || n > len(words) {
+			t.Fatalf("Decode consumed %d of %d words", n, len(words))
+		}
+		if !ValidClass(in.Class) {
+			t.Fatalf("Decode produced undefined class %d", in.Class)
+		}
+		enc, err := in.Encode()
+		if err != nil {
+			t.Fatalf("decoded instruction %+v does not re-encode: %v", in, err)
+		}
+		back, n2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded words %#v do not decode: %v", enc, err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d words", n2, len(enc))
+		}
+		if Canonical(back) != Canonical(in) {
+			t.Fatalf("decode/encode round trip drifted: %+v -> %#v -> %+v", in, enc, back)
+		}
+	})
+}
+
+// FuzzDecodeProgram exercises the whole-stream decoder (the CLI's `decode`
+// input path): arbitrary streams must produce either a listing or an error,
+// never a panic, and an accepted listing must re-encode to the same length.
+func FuzzDecodeProgram(f *testing.F) {
+	f.Add([]byte{0x01, 0x0C, 0xA5, 0xE5, 0x08, 0x95})
+	f.Add([]byte{0x00, 0x90}) // truncated LDS
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := wordsOf(data)
+		prog, err := DecodeProgram(words)
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, in := range prog {
+			enc, err := in.Encode()
+			if err != nil {
+				t.Fatalf("decoded program instruction %+v does not re-encode: %v", in, err)
+			}
+			total += len(enc)
+		}
+		if total != len(words) {
+			t.Fatalf("program re-encodes to %d words, input had %d", total, len(words))
+		}
+	})
+}
+
+// TestFuzzCorpusCommitted regenerates the committed seed corpora under
+// testdata/fuzz when REGEN_FUZZ_CORPUS is set, and otherwise asserts they
+// are present so the CI fuzz-smoke job always starts from real seeds.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") != "" {
+		words := func(ws ...uint16) []byte {
+			b := make([]byte, 2*len(ws))
+			for i, w := range ws {
+				binary.LittleEndian.PutUint16(b[2*i:], w)
+			}
+			return b
+		}
+		testkit.WriteCorpus(t, "FuzzDecode", "alu_rr", words(0x0C01))
+		testkit.WriteCorpus(t, "FuzzDecode", "ldi", words(0xE5A5))
+		testkit.WriteCorpus(t, "FuzzDecode", "lds32", words(0x9000, 0x1234))
+		testkit.WriteCorpus(t, "FuzzDecode", "branch", words(0xF409))
+		testkit.WriteCorpus(t, "FuzzDecodeProgram", "mixed", words(0x0C01, 0xE5A5, 0x9508))
+		testkit.WriteCorpus(t, "FuzzDecodeProgram", "truncated_lds", words(0x9000))
+		testkit.WriteCorpus(t, "FuzzAssemble", "add", "add r1, r2")
+		testkit.WriteCorpus(t, "FuzzAssemble", "ldd_disp", "ldd r0, Y+12")
+		testkit.WriteCorpus(t, "FuzzAssemble", "sts", "sts 0x0100, r1")
+		return
+	}
+	for _, target := range []string{"FuzzDecode", "FuzzDecodeProgram", "FuzzAssemble"} {
+		ents, err := os.ReadDir(filepath.Join("testdata", "fuzz", target))
+		if err != nil || len(ents) == 0 {
+			t.Errorf("no committed seed corpus for %s (REGEN_FUZZ_CORPUS=1 to create): %v", target, err)
+		}
+	}
+}
+
+// FuzzAssemble drives the mnemonic parser (the CLI's `asm` input path) with
+// arbitrary source lines. Accepted lines must produce an encodable
+// instruction whose canonical decode matches.
+func FuzzAssemble(f *testing.F) {
+	for _, s := range []string{
+		"add r1, r2",
+		"ldi r16, 0xFF",
+		"ldd r0, Y+12",
+		"brne .+6",
+		"clc",
+		"tst r5",
+		"sts 0x0100, r1",
+		"; comment",
+		"",
+		"bogus r1",
+		"add r1",
+		"ldi r15, 1", // LDI needs r16..r31
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		in, err := Assemble(line)
+		if err != nil {
+			return
+		}
+		if !ValidClass(in.Class) {
+			t.Fatalf("Assemble(%q) produced undefined class %d", line, in.Class)
+		}
+		enc, err := in.Encode()
+		if err != nil {
+			t.Fatalf("assembled %q -> %+v does not encode: %v", line, in, err)
+		}
+		back, _, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("assembled %q encodes to undecodable words %#v: %v", line, enc, err)
+		}
+		if Canonical(back) != Canonical(in) {
+			t.Fatalf("assemble/encode/decode drifted for %q: %+v vs %+v", line, in, back)
+		}
+	})
+}

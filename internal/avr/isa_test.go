@@ -128,13 +128,13 @@ func TestValidateTypedSentinels(t *testing.T) {
 		t.Fatalf("invalid class err = %v, want ErrBadClass", err)
 	}
 	bad := []Instruction{
-		{Class: OpADD, Rd: 40},          // register out of range
-		{Class: OpLDI, Rd: 3},           // LDI needs r16..r31
-		{Class: OpADIW, Rd: 25},         // pair register must be even
-		{Class: OpRJMP, Off: 5000},      // offset out of range
-		{Class: OpLDDY, Rd: 1, Q: 99},   // displacement exceeds 6 bits
-		{Class: OpSBI, Addr: 40, B: 1},  // I/O address exceeds 5 bits
-		{Class: OpBRBS, S: 9},           // SREG bit out of range
+		{Class: OpADD, Rd: 40},         // register out of range
+		{Class: OpLDI, Rd: 3},          // LDI needs r16..r31
+		{Class: OpADIW, Rd: 25},        // pair register must be even
+		{Class: OpRJMP, Off: 5000},     // offset out of range
+		{Class: OpLDDY, Rd: 1, Q: 99},  // displacement exceeds 6 bits
+		{Class: OpSBI, Addr: 40, B: 1}, // I/O address exceeds 5 bits
+		{Class: OpBRBS, S: 9},          // SREG bit out of range
 	}
 	for _, in := range bad {
 		if err := in.Validate(); !errors.Is(err, ErrBadOperand) {

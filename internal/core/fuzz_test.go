@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/avr"
+	"repro/internal/testkit"
+)
+
+// stateGob encodes a disassemblerState exactly as Save does, letting the
+// seeds cover structurally valid gob streams (wrong version, missing group
+// level, poisoned class table) without the cost of training a real template
+// set.
+func stateGob(t testing.TB, st disassemblerState) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFuzzCorpusCommitted regenerates the committed seed corpus under
+// testdata/fuzz when REGEN_FUZZ_CORPUS is set, and otherwise asserts it is
+// present. The seeds are the crafted stateGob variants, not a trained
+// template file — a real one gob-encodes to ~330 KB, too heavy to commit.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") != "" {
+		testkit.WriteCorpus(t, "FuzzLoad", "not_gob", []byte("not a gob stream"))
+		testkit.WriteCorpus(t, "FuzzLoad", "bare_current_version",
+			stateGob(t, disassemblerState{Version: templateFormatVersion}))
+		testkit.WriteCorpus(t, "FuzzLoad", "future_version",
+			stateGob(t, disassemblerState{Version: templateFormatVersion + 1}))
+		bad := disassemblerState{Version: templateFormatVersion}
+		bad.InstrClass[0] = []avr.Class{avr.Class(255)}
+		testkit.WriteCorpus(t, "FuzzLoad", "poisoned_class_table", stateGob(t, bad))
+		whole := stateGob(t, disassemblerState{Version: templateFormatVersion, HaveRegs: true})
+		testkit.WriteCorpus(t, "FuzzLoad", "truncated", whole[:len(whole)/2])
+		return
+	}
+	ents, err := os.ReadDir(filepath.Join("testdata", "fuzz", "FuzzLoad"))
+	if err != nil || len(ents) == 0 {
+		t.Errorf("no committed seed corpus for FuzzLoad (REGEN_FUZZ_CORPUS=1 to create): %v", err)
+	}
+}
+
+// FuzzLoad drives template deserialization with arbitrary bytes. The
+// contract under fuzz: Load never panics, never returns a non-nil
+// Disassembler together with an error, and classifies every rejection under
+// ErrTemplateFormat (I/O errors are impossible from a bytes.Reader).
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	f.Add(stateGob(f, disassemblerState{Version: templateFormatVersion}))
+	f.Add(stateGob(f, disassemblerState{Version: templateFormatVersion + 1}))
+	f.Add(stateGob(f, disassemblerState{Version: 0}))
+	bad := disassemblerState{Version: templateFormatVersion}
+	bad.InstrClass[0] = []avr.Class{avr.Class(255)}
+	f.Add(stateGob(f, bad))
+	// A truncated version of a structurally valid stream.
+	whole := stateGob(f, disassemblerState{Version: templateFormatVersion, HaveRegs: true})
+	f.Add(whole[:len(whole)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Load(bytes.NewReader(data))
+		if err == nil {
+			if d == nil {
+				t.Fatal("Load returned nil, nil")
+			}
+			// Anything Load accepts must be classify-ready: the call must
+			// return a verdict or an error, never panic.
+			_, _ = d.Classify(make([]float64, 16))
+			return
+		}
+		if d != nil {
+			t.Fatalf("Load returned a partially initialized Disassembler with error %v", err)
+		}
+		if !errors.Is(err, ErrTemplateFormat) {
+			t.Fatalf("rejection outside ErrTemplateFormat: %v", err)
+		}
+	})
+}
+
+// TestSaveLoadFuzzSeedRoundTrip keeps the fuzz surface honest against the
+// real format: a trained template set survives Save → Load and the loaded
+// copy decodes traces identically to the original.
+func TestSaveLoadFuzzSeedRoundTrip(t *testing.T) {
+	d, traces := sharedFixture(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("loaded disassembler decode %d = %+v, original %+v", i, got[i], want[i])
+		}
+	}
+	// Every truncation of a real template file must be rejected cleanly —
+	// the deep-structure analogue of the fuzz contract, on bytes the fuzzer
+	// would need many CPU-hours to construct.
+	for _, frac := range []int{1, 2, 4, 8} {
+		cut := buf.Len() * frac / 10
+		if _, err := Load(bytes.NewReader(buf.Bytes()[:cut])); !errors.Is(err, ErrTemplateFormat) {
+			t.Fatalf("truncation at %d/%d bytes: got %v, want ErrTemplateFormat", cut, buf.Len(), err)
+		}
+	}
+}

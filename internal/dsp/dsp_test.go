@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testkit"
 )
 
 func TestFFTKnownImpulse(t *testing.T) {
@@ -33,9 +35,7 @@ func TestFFTKnownSinusoid(t *testing.T) {
 		if k == 3 {
 			want = float64(n)
 		}
-		if math.Abs(cmplx.Abs(y[k])-want) > 1e-9 {
-			t.Fatalf("bin %d magnitude %g, want %g", k, cmplx.Abs(y[k]), want)
-		}
+		testkit.InDelta(t, cmplx.Abs(y[k]), want, 1e-9, "FFT bin magnitude")
 	}
 }
 
@@ -131,7 +131,7 @@ func TestParsevalProperty(t *testing.T) {
 			ef += real(v)*real(v) + imag(v)*imag(v)
 		}
 		ef /= float64(n)
-		return math.Abs(et-ef) < 1e-7*(1+et)
+		return testkit.Close(ef, et, 1e-7, 1e-7)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
@@ -141,14 +141,7 @@ func TestParsevalProperty(t *testing.T) {
 func TestConvolveKnown(t *testing.T) {
 	got := Convolve([]float64{1, 2, 3}, []float64{0, 1, 0.5})
 	want := []float64{0, 1, 2.5, 4, 1.5}
-	if len(got) != len(want) {
-		t.Fatalf("len = %d, want %d", len(got), len(want))
-	}
-	for i := range want {
-		if math.Abs(got[i]-want[i]) > 1e-10 {
-			t.Fatalf("conv[%d] = %g, want %g", i, got[i], want[i])
-		}
-	}
+	testkit.AllClose(t, got, want, 0, 1e-10, "known convolution")
 }
 
 func TestConvolveMatchesNaive(t *testing.T) {
@@ -169,9 +162,7 @@ func TestConvolveMatchesNaive(t *testing.T) {
 				want += a[k] * b[j]
 			}
 		}
-		if math.Abs(got[n]-want) > 1e-9 {
-			t.Fatalf("conv[%d] = %g, want %g", n, got[n], want)
-		}
+		testkit.InDelta(t, got[n], want, 1e-9, "convolution vs naive")
 	}
 }
 
@@ -204,15 +195,12 @@ func TestCWTScalesAreGeometric(t *testing.T) {
 	if c.NumScales() != 50 {
 		t.Fatalf("NumScales = %d", c.NumScales())
 	}
-	if math.Abs(c.Scale(0)-2) > 1e-12 || math.Abs(c.Scale(49)-80) > 1e-9 {
-		t.Fatalf("scale endpoints %g, %g", c.Scale(0), c.Scale(49))
-	}
+	testkit.InDelta(t, c.Scale(0), 2, 1e-12, "first scale")
+	testkit.InDelta(t, c.Scale(49), 80, 1e-9, "last scale")
 	// Ratio between consecutive scales must be constant.
 	r := c.Scale(1) / c.Scale(0)
 	for j := 2; j < 50; j++ {
-		if math.Abs(c.Scale(j)/c.Scale(j-1)-r) > 1e-9 {
-			t.Fatalf("scales not geometric at %d", j)
-		}
+		testkit.InDelta(t, c.Scale(j)/c.Scale(j-1), r, 1e-9, "geometric scale ratio")
 	}
 	// Center frequency decreases with scale.
 	for j := 1; j < 50; j++ {
@@ -328,11 +316,7 @@ func TestAlignByCrossCorrelation(t *testing.T) {
 	if sh != 5 {
 		t.Fatalf("detected shift %d, want 5", sh)
 	}
-	for i := 20; i < n-20; i++ {
-		if math.Abs(aligned[i]-ref[i]) > 1e-9 {
-			t.Fatalf("aligned[%d] = %g, want %g", i, aligned[i], ref[i])
-		}
-	}
+	testkit.AllClose(t, aligned[20:n-20], ref[20:n-20], 0, 1e-9, "aligned interior")
 }
 
 func TestAlignNoShiftForIdentical(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/testkit"
 )
 
 // synthTrace builds a trace with a class-dependent tone plus noise; class 0
@@ -53,9 +54,10 @@ func TestPointStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	g0 := ps.Gaussian(0)
-	if g0.Mean != 2 || math.Abs(g0.StdDev-math.Sqrt2) > 1e-12 {
+	if g0.Mean != 2 {
 		t.Fatalf("g0 = %+v", g0)
 	}
+	testkit.InDelta(t, g0.StdDev, math.Sqrt2, 1e-12, "point-stats stddev")
 	g1 := ps.Gaussian(1)
 	if g1.Mean != 10 || g1.StdDev != 0 {
 		t.Fatalf("g1 = %+v", g1)
@@ -266,7 +268,7 @@ func TestFitPCAAndTransform(t *testing.T) {
 	}
 	// First component direction ≈ (1,1,0)/√2.
 	c0 := []float64{pca.Components.At(0, 0), pca.Components.At(0, 1), pca.Components.At(0, 2)}
-	if math.Abs(math.Abs(c0[0])-1/math.Sqrt2) > 0.05 || math.Abs(c0[2]) > 0.1 {
+	if !testkit.Close(math.Abs(c0[0]), 1/math.Sqrt2, 0, 0.05) || math.Abs(c0[2]) > 0.1 {
 		t.Fatalf("first PC direction %v", c0)
 	}
 	if _, err := pca.Transform([]float64{1}); err == nil {
@@ -404,11 +406,7 @@ func TestNormalizeTraceIdempotentOnFeatures(t *testing.T) {
 	x := []float64{1, 2, 3, 4}
 	once := stats.NormalizeTrace(x)
 	twice := stats.NormalizeTrace(once)
-	for i := range once {
-		if math.Abs(once[i]-twice[i]) > 1e-9 {
-			t.Fatal("per-trace normalization should be idempotent")
-		}
-	}
+	testkit.AllClose(t, twice, once, 0, 1e-9, "double-normalized trace")
 }
 
 // Satellite regression: a NaN-contaminated program population must not

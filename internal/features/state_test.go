@@ -3,9 +3,10 @@ package features
 import (
 	"bytes"
 	"encoding/gob"
-	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/testkit"
 )
 
 func TestPipelineStateRoundTrip(t *testing.T) {
@@ -42,14 +43,7 @@ func TestPipelineStateRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a) != len(b) {
-		t.Fatalf("feature dims differ: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		if math.Abs(a[i]-b[i]) > 1e-12 {
-			t.Fatalf("feature %d differs after restore: %g vs %g", i, a[i], b[i])
-		}
-	}
+	testkit.AllClose(t, b, a, 0, 1e-12, "features after state restore")
 	if pl2.NumPoints() != pl.NumPoints() || pl2.PairCount() != pl.PairCount() {
 		t.Fatal("metadata differs after restore")
 	}

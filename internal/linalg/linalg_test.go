@@ -6,9 +6,12 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testkit"
 )
 
-func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+// almostEq delegates to the shared tolerance semantics (absolute-only form).
+func almostEq(a, b, tol float64) bool { return testkit.Close(a, b, 0, tol) }
 
 func TestMatrixBasics(t *testing.T) {
 	m := NewMatrix(2, 3)
@@ -92,11 +95,7 @@ func TestIdentityMulIsNoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range a.Data {
-		if !almostEq(a.Data[i], c.Data[i], 1e-12) {
-			t.Fatalf("A·I != A at %d: %g vs %g", i, a.Data[i], c.Data[i])
-		}
-	}
+	testkit.AllClose(t, c.Data, a.Data, 0, 1e-12, "A·I")
 }
 
 func TestMeanAndCovariance(t *testing.T) {
@@ -141,11 +140,7 @@ func TestCholeskySolveRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, _ := a.MulVec(x)
-	for i := range b {
-		if !almostEq(got[i], b[i], 1e-9) {
-			t.Fatalf("A·x != b: %v vs %v", got, b)
-		}
-	}
+	testkit.AllClose(t, got, b, 0, 1e-9, "A·x vs b")
 }
 
 func TestCholeskyRejectsIndefinite(t *testing.T) {
@@ -185,9 +180,7 @@ func TestCholeskyLogDet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEq(ch.LogDet(), math.Log(16), 1e-12) {
-		t.Fatalf("logdet = %g, want %g", ch.LogDet(), math.Log(16))
-	}
+	testkit.InDelta(t, ch.LogDet(), math.Log(16), 1e-12, "logdet")
 }
 
 func TestCholeskyInverse(t *testing.T) {
@@ -225,9 +218,7 @@ func TestMahalanobisSq(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEq(q, 2, 1e-12) {
-		t.Fatalf("mahalanobis = %g, want 2", q)
-	}
+	testkit.InDelta(t, q, 2, 1e-12, "mahalanobis quadratic form")
 }
 
 func TestEigenSymKnown(t *testing.T) {
@@ -296,11 +287,7 @@ func TestEigenSymRandomReconstruction(t *testing.T) {
 	}
 	vd, _ := V.Mul(d)
 	rec, _ := vd.Mul(V.T())
-	for i := range a.Data {
-		if !almostEq(a.Data[i], rec.Data[i], 1e-8) {
-			t.Fatalf("reconstruction error at %d: %g vs %g", i, a.Data[i], rec.Data[i])
-		}
-	}
+	testkit.AllClose(t, rec.Data, a.Data, 0, 1e-8, "V·diag(λ)·Vᵀ reconstruction")
 }
 
 func TestEigenSymTraceInvariant(t *testing.T) {

@@ -1,0 +1,238 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+// The Cholesky/covariance stack is checked against the textbook references
+// in testkit: NaiveCholesky (Cholesky–Banachiewicz), NaiveCovariance
+// (two-pass definition), and SolveGauss (partial-pivoting elimination). The
+// factor of an SPD matrix with positive diagonal is unique, so factors are
+// compared entrywise; solves and inverses compare against elimination at
+// testkit.LinalgTol on well-conditioned random inputs.
+
+func fromDense(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func denseOf(m *Matrix) [][]float64 {
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		out[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return out
+}
+
+func TestCholeskyFactorMatchesNaive(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 12}, func(g *testkit.G) error {
+		n := g.Size(1, 20)
+		a := g.SPDMatrix(n)
+		am, err := FromRows(a)
+		if err != nil {
+			return err
+		}
+		ch, err := NewCholesky(am)
+		if err != nil {
+			return fmt.Errorf("NewCholesky on SPD %dx%d: %v", n, n, err)
+		}
+		wantL, ok := testkit.NaiveCholesky(a)
+		if !ok {
+			return fmt.Errorf("oracle rejected SPD %dx%d matrix", n, n)
+		}
+		gotL := denseOf(ch.L)
+		for i := range wantL {
+			for j := range wantL[i] {
+				if !testkit.Close(gotL[i][j], wantL[i][j], testkit.LinalgTol, testkit.LinalgTol) {
+					return fmt.Errorf("L[%d][%d] = %g, oracle %g", i, j, gotL[i][j], wantL[i][j])
+				}
+			}
+		}
+		// Reconstruction: L·Lᵀ must reproduce the input.
+		recon := testkit.MulLLT(gotL)
+		for i := range a {
+			for j := range a[i] {
+				if !testkit.Close(recon[i][j], a[i][j], testkit.LinalgTol, testkit.LinalgTol) {
+					return fmt.Errorf("(L·Lᵀ)[%d][%d] = %g, input %g", i, j, recon[i][j], a[i][j])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestCholeskySolveMatchesGauss(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 12}, func(g *testkit.G) error {
+		n := g.Size(1, 16)
+		a := g.SPDMatrix(n)
+		b := g.Trace(n)
+		am, err := FromRows(a)
+		if err != nil {
+			return err
+		}
+		ch, err := NewCholesky(am)
+		if err != nil {
+			return err
+		}
+		got, err := ch.SolveVec(b)
+		if err != nil {
+			return err
+		}
+		want, err := testkit.SolveGauss(a, b)
+		if err != nil {
+			return err
+		}
+		for i := range want {
+			if !testkit.Close(got[i], want[i], testkit.LinalgTol, testkit.LinalgTol) {
+				return fmt.Errorf("x[%d] = %g, elimination %g (n=%d)", i, got[i], want[i], n)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCholeskyInverseMatchesGauss(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 8}, func(g *testkit.G) error {
+		n := g.Size(1, 12)
+		a := g.SPDMatrix(n)
+		am, err := FromRows(a)
+		if err != nil {
+			return err
+		}
+		ch, err := NewCholesky(am)
+		if err != nil {
+			return err
+		}
+		inv, err := ch.Inverse()
+		if err != nil {
+			return err
+		}
+		// Column k of A⁻¹ solves A·x = e_k.
+		for k := 0; k < n; k++ {
+			e := make([]float64, n)
+			e[k] = 1
+			want, err := testkit.SolveGauss(a, e)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				if !testkit.Close(inv.At(i, k), want[i], testkit.LinalgTol, testkit.LinalgTol) {
+					return fmt.Errorf("inv[%d][%d] = %g, elimination %g", i, k, inv.At(i, k), want[i])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestCholeskyLogDetMatchesNaiveFactor(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 12}, func(g *testkit.G) error {
+		n := g.Size(1, 16)
+		a := g.SPDMatrix(n)
+		am, err := FromRows(a)
+		if err != nil {
+			return err
+		}
+		ch, err := NewCholesky(am)
+		if err != nil {
+			return err
+		}
+		L, ok := testkit.NaiveCholesky(a)
+		if !ok {
+			return fmt.Errorf("oracle rejected SPD matrix")
+		}
+		var want float64
+		for i := range L {
+			want += 2 * math.Log(L[i][i])
+		}
+		if !testkit.Close(ch.LogDet(), want, testkit.LinalgTol, testkit.LinalgTol) {
+			return fmt.Errorf("LogDet = %g, oracle %g (n=%d)", ch.LogDet(), want, n)
+		}
+		return nil
+	})
+}
+
+func TestMahalanobisMatchesDefinition(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 12}, func(g *testkit.G) error {
+		n := g.Size(1, 12)
+		a := g.SPDMatrix(n)
+		x := g.Trace(n)
+		mu := g.Trace(n)
+		am, err := FromRows(a)
+		if err != nil {
+			return err
+		}
+		ch, err := NewCholesky(am)
+		if err != nil {
+			return err
+		}
+		got, err := ch.MahalanobisSq(x, mu)
+		if err != nil {
+			return err
+		}
+		// Definition: (x−μ)ᵀ·A⁻¹·(x−μ) via elimination.
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = x[i] - mu[i]
+		}
+		sol, err := testkit.SolveGauss(a, d)
+		if err != nil {
+			return err
+		}
+		var want float64
+		for i := range d {
+			want += d[i] * sol[i]
+		}
+		if !testkit.Close(got, want, testkit.LinalgTol, testkit.LinalgTol) {
+			return fmt.Errorf("MahalanobisSq = %g, definition %g (n=%d)", got, want, n)
+		}
+		return nil
+	})
+}
+
+func TestCovarianceMatchesNaive(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 12}, func(g *testkit.G) error {
+		n := g.Size(2, 40)
+		p := g.Size(1, 10)
+		rows := g.Matrix(n, p)
+		X, err := FromRows(rows)
+		if err != nil {
+			return err
+		}
+		mu := Mean(X)
+		cov, err := Covariance(X, mu)
+		if err != nil {
+			return err
+		}
+		want := testkit.NaiveCovariance(rows)
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if !testkit.Close(cov.At(i, j), want[i][j], testkit.LinalgTol, testkit.LinalgTol) {
+					return fmt.Errorf("cov[%d][%d] = %g, two-pass %g (n=%d, p=%d)",
+						i, j, cov.At(i, j), want[i][j], n, p)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestNaiveCholeskyRejectsIndefinite keeps the oracle itself honest: it must
+// agree with NewCholesky on rejecting a matrix with a negative direction.
+func TestNaiveCholeskyRejectsIndefinite(t *testing.T) {
+	bad := [][]float64{{1, 2}, {2, 1}} // eigenvalues 3 and −1
+	if _, ok := testkit.NaiveCholesky(bad); ok {
+		t.Fatal("oracle accepted an indefinite matrix")
+	}
+	if _, err := NewCholesky(fromDense(t, bad)); err == nil {
+		t.Fatal("NewCholesky accepted an indefinite matrix")
+	}
+}

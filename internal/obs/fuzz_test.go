@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+// TestFuzzCorpusCommitted regenerates the committed seed corpus under
+// testdata/fuzz when REGEN_FUZZ_CORPUS is set, and otherwise asserts it is
+// present so the CI fuzz-smoke job always starts from real seeds.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") != "" {
+		testkit.WriteCorpus(t, "FuzzOptionsFlagParsing", "full_set",
+			"-metrics-out\n-\n-log-format\njson")
+		testkit.WriteCorpus(t, "FuzzOptionsFlagParsing", "pprof",
+			"-pprof\nlocalhost:6060")
+		testkit.WriteCorpus(t, "FuzzOptionsFlagParsing", "outputs",
+			"-manifest-out\nrun.json\n-trace-out\ntrace.json")
+		testkit.WriteCorpus(t, "FuzzOptionsFlagParsing", "bad_format",
+			"-log-format\nbogus")
+		testkit.WriteCorpus(t, "FuzzOptionsFlagParsing", "equals_form",
+			"--metrics-out=out.json")
+		return
+	}
+	ents, err := os.ReadDir(filepath.Join("testdata", "fuzz", "FuzzOptionsFlagParsing"))
+	if err != nil || len(ents) == 0 {
+		t.Errorf("no committed seed corpus for FuzzOptionsFlagParsing (REGEN_FUZZ_CORPUS=1 to create): %v", err)
+	}
+}
+
+// FuzzOptionsFlagParsing drives the shared CLI flag surface (the -metrics-out
+// / -trace-out / -manifest-out / -log-format / -pprof set both binaries
+// register) with arbitrary argument vectors, newline-separated. The parser
+// must never panic, and any accepted argv must parse identically when the
+// resulting Options are rendered back to flags — parsing is a projection.
+func FuzzOptionsFlagParsing(f *testing.F) {
+	f.Add("-metrics-out\n-\n-log-format\njson")
+	f.Add("-pprof\nlocalhost:6060")
+	f.Add("-manifest-out\nrun.json\n-trace-out\ntrace.json")
+	f.Add("-log-format\nbogus")
+	f.Add("-unknown-flag")
+	f.Add("--metrics-out=out.json")
+	f.Add("")
+	f.Add("-metrics-out")
+	f.Fuzz(func(t *testing.T, argBlob string) {
+		var args []string
+		for _, a := range strings.Split(argBlob, "\n") {
+			if a != "" {
+				args = append(args, a)
+			}
+		}
+		var o Options
+		fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		o.Register(fs)
+		if err := fs.Parse(args); err != nil {
+			return
+		}
+		if fs.NArg() > 0 {
+			return // positional remainder; flag values may legitimately repeat there
+		}
+
+		canonical := []string{
+			"-metrics-out", o.MetricsOut,
+			"-trace-out", o.TraceOut,
+			"-manifest-out", o.ManifestOut,
+			"-log-format", o.LogFormat,
+			"-pprof", o.PprofAddr,
+		}
+		var o2 Options
+		fs2 := flag.NewFlagSet("fuzz2", flag.ContinueOnError)
+		fs2.SetOutput(io.Discard)
+		o2.Register(fs2)
+		if err := fs2.Parse(canonical); err != nil {
+			t.Fatalf("re-rendered flags failed to parse: %v (from %q)", err, args)
+		}
+		if o2 != o {
+			t.Fatalf("flag parse not a projection: %+v -> %+v (args %q)", o, o2, args)
+		}
+
+		// The log format gate must agree with SetupLogging's validation:
+		// whatever parsed is either accepted or rejected deterministically,
+		// never a panic. io.Discard keeps the process logger quiet.
+		err := SetupLogging(o.LogFormat, io.Discard, false)
+		validFormat := o.LogFormat == "" || o.LogFormat == "text" || o.LogFormat == "json"
+		if (err == nil) != validFormat {
+			t.Fatalf("SetupLogging(%q) = %v, validity says %v", o.LogFormat, err, validFormat)
+		}
+	})
+}

@@ -31,13 +31,13 @@ func UnitBuckets() BucketLayout {
 // Observe calls from any number of goroutines; every update is a handful of
 // atomic operations, no locks. A nil *Histogram is a valid no-op instrument.
 type Histogram struct {
-	layout    BucketLayout
-	invLogG   float64
-	counts    []atomic.Uint64 // len NumBuckets+2: underflow, finite..., overflow
-	count     atomic.Uint64
-	sumBits   atomic.Uint64 // float64 bits, CAS-accumulated
-	minBits   atomic.Uint64 // float64 bits; valid only when count > 0
-	maxBits   atomic.Uint64
+	layout  BucketLayout
+	invLogG float64
+	counts  []atomic.Uint64 // len NumBuckets+2: underflow, finite..., overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64 // float64 bits; valid only when count > 0
+	maxBits atomic.Uint64
 }
 
 // NewHistogram builds a histogram with the given layout. Invalid layouts

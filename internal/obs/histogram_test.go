@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"testing"
+
+	"repro/internal/testkit"
 )
 
 // maxRelErr is the quantile error bound the geometric layout guarantees: the
@@ -60,8 +62,9 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 				if want == 0 {
 					continue
 				}
-				if rel := math.Abs(got-want) / want; rel > maxRelErr {
-					t.Errorf("q=%g: got %g want %g (rel err %.3f > %.2f)", q, got, want, rel, maxRelErr)
+				if !testkit.Close(got, want, maxRelErr, 0) {
+					t.Errorf("q=%g: got %g want %g (rel err %.3f > %.2f)",
+						q, got, want, math.Abs(got-want)/want, maxRelErr)
 				}
 			}
 			if h.Count() != 10000 {
@@ -78,8 +81,8 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 // quantiles anchored to the observed extremes.
 func TestHistogramUnderOverflow(t *testing.T) {
 	h := NewHistogram(BucketLayout{Min: 1, Growth: 2, NumBuckets: 4}) // finite range [1, 16)
-	h.Observe(0.001)                                                 // underflow
-	h.Observe(1000)                                                  // overflow
+	h.Observe(0.001)                                                  // underflow
+	h.Observe(1000)                                                   // overflow
 	if h.Count() != 2 {
 		t.Fatalf("count = %d", h.Count())
 	}
@@ -136,7 +139,5 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 			sum += 1e-5 * float64(1+(g+i)%100)
 		}
 	}
-	if math.Abs(h.Sum()-sum)/sum > 1e-9 {
-		t.Fatalf("sum = %g, want %g", h.Sum(), sum)
-	}
+	testkit.CloseTo(t, h.Sum(), sum, 1e-9, "concurrent-observe sum")
 }

@@ -193,9 +193,9 @@ func (r *Registry) HistogramWith(name string, layout BucketLayout) *Histogram {
 // Snapshot is a point-in-time, JSON-serializable view of every instrument.
 // Maps serialize with sorted keys, so the JSON field order is stable.
 type Snapshot struct {
-	Counters   map[string]int64              `json:"counters,omitempty"`
-	Gauges     map[string]float64            `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot  `json:"histograms,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot captures the current value of every instrument. Safe to call

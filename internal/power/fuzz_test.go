@@ -1,0 +1,120 @@
+package power
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+// traceOf reinterprets fuzz bytes as float64 samples (8 bytes each,
+// little-endian bit pattern), so the fuzzer can reach every bit pattern —
+// NaN payloads, subnormals, infinities — not just round numbers.
+func traceOf(data []byte) []float64 {
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out
+}
+
+// TestFuzzCorpusCommitted regenerates the committed seed corpus under
+// testdata/fuzz when REGEN_FUZZ_CORPUS is set, and otherwise asserts it is
+// present so the CI fuzz-smoke job always starts from real seeds.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") != "" {
+		mk := func(vals ...float64) []byte {
+			b := make([]byte, 8*len(vals))
+			for i, v := range vals {
+				binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+			}
+			return b
+		}
+		testkit.WriteCorpus(t, "FuzzValidateTrace", "clean", mk(1, 2, 3), 3)
+		testkit.WriteCorpus(t, "FuzzValidateTrace", "wrong_length", mk(1, 2), 3)
+		testkit.WriteCorpus(t, "FuzzValidateTrace", "constant", mk(5, 5, 5), 3)
+		testkit.WriteCorpus(t, "FuzzValidateTrace", "nan", mk(1, math.NaN(), 3), 3)
+		testkit.WriteCorpus(t, "FuzzValidateTrace", "neg_inf", mk(1, math.Inf(-1), 3), 3)
+		testkit.WriteCorpus(t, "FuzzValidateTrace", "subnormal", mk(0, math.Float64frombits(1)), 2)
+		return
+	}
+	ents, err := os.ReadDir(filepath.Join("testdata", "fuzz", "FuzzValidateTrace"))
+	if err != nil || len(ents) == 0 {
+		t.Errorf("no committed seed corpus for FuzzValidateTrace (REGEN_FUZZ_CORPUS=1 to create): %v", err)
+	}
+}
+
+// FuzzValidateTrace checks the ingestion validator's contract on arbitrary
+// sample data: never panic, accept exactly the traces that are non-empty,
+// length-conformant, finite, and non-constant, and classify every rejection
+// as one of the three sentinel defects.
+func FuzzValidateTrace(f *testing.F) {
+	mk := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(mk(1, 2, 3), 3)
+	f.Add(mk(1, 2, 3), 0)
+	f.Add(mk(1, 2), 3)                       // wrong length
+	f.Add(mk(5, 5, 5), 3)                    // constant
+	f.Add(mk(1, math.NaN(), 3), 3)           // NaN
+	f.Add(mk(1, math.Inf(-1), 3), 3)         // -Inf
+	f.Add(mk(), 0)                           // empty
+	f.Add(mk(0, math.Float64frombits(1)), 2) // subnormal variation
+	f.Fuzz(func(t *testing.T, data []byte, wantLen int) {
+		trace := traceOf(data)
+		err := ValidateTrace(trace, wantLen)
+
+		// Independent re-derivation of the verdict.
+		finite := true
+		constant := len(trace) > 0
+		for i, v := range trace {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				finite = false
+			}
+			if i > 0 && v != trace[0] {
+				constant = false
+			}
+		}
+		lengthOK := len(trace) > 0 && (wantLen <= 0 || len(trace) == wantLen)
+
+		if err == nil {
+			if !lengthOK || !finite || constant {
+				t.Fatalf("accepted defective trace (len=%d wantLen=%d finite=%v constant=%v)",
+					len(trace), wantLen, finite, constant)
+			}
+			return
+		}
+		switch {
+		case errors.Is(err, ErrTraceLength):
+			if lengthOK {
+				t.Fatalf("length error for conformant length %d (want %d): %v", len(trace), wantLen, err)
+			}
+		case errors.Is(err, ErrNonFiniteTrace):
+			if finite {
+				t.Fatalf("non-finite error for finite trace: %v", err)
+			}
+		case errors.Is(err, ErrConstantTrace):
+			if !constant {
+				t.Fatalf("constant error for varying trace: %v", err)
+			}
+		default:
+			t.Fatalf("rejection with unknown sentinel: %v", err)
+		}
+
+		// Sanitize must agree with ValidateTrace one-for-one.
+		d := &Dataset{}
+		d.Append(trace, 0, 0)
+		clean, rep := d.Sanitize(wantLen)
+		if clean.Len() != 0 || rep.Rejected() != 1 {
+			t.Fatalf("Sanitize disagreed with ValidateTrace: kept %d, rejected %d", clean.Len(), rep.Rejected())
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/avr"
 	"repro/internal/stats"
+	"repro/internal/testkit"
 )
 
 func testConfig() Config {
@@ -25,9 +26,7 @@ func TestDefaultConfigMatchesPaperSetup(t *testing.T) {
 	if cfg.TraceLen != 315 {
 		t.Fatalf("trace length %d, want 315", cfg.TraceLen)
 	}
-	if spc := cfg.SamplesPerCycle(); math.Abs(spc-156.25) > 1e-9 {
-		t.Fatalf("samples per cycle %g, want 156.25", spc)
-	}
+	testkit.InDelta(t, cfg.SamplesPerCycle(), 156.25, 1e-9, "samples per cycle")
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}

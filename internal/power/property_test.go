@@ -1,0 +1,99 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+// defectiveDataset builds a dataset of healthy generator traces with a
+// controlled sprinkling of every defect class ValidateTrace knows about.
+func defectiveDataset(g *testkit.G, traceLen int) *Dataset {
+	d := &Dataset{DeviceID: 1, ClassNames: []string{"a", "b"}}
+	n := g.Size(4, 40)
+	for i := 0; i < n; i++ {
+		tr := g.Trace(traceLen)
+		switch g.IntBetween(0, 9) {
+		case 0:
+			tr[g.IntBetween(0, traceLen-1)] = math.NaN()
+		case 1:
+			tr[g.IntBetween(0, traceLen-1)] = math.Inf(1)
+		case 2:
+			c := g.Float64(-1, 1)
+			for k := range tr {
+				tr[k] = c
+			}
+		case 3:
+			tr = tr[:g.IntBetween(1, traceLen-1)]
+		case 4:
+			tr = nil
+		}
+		d.Append(tr, g.IntBetween(0, 1), g.IntBetween(0, 2))
+	}
+	return d
+}
+
+// TestSanitizeIdempotent pins the invariant Sanitize(Sanitize(d)) ==
+// Sanitize(d): a second pass over an already-clean dataset rejects nothing
+// and returns the identical traces, labels, and programs.
+func TestSanitizeIdempotent(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 30}, func(g *testkit.G) error {
+		d := defectiveDataset(g, g.Size(8, 64))
+		clean, rep1 := d.Sanitize(0)
+		if clean.Len()+rep1.Rejected() != d.Len() {
+			return fmt.Errorf("first pass: %d clean + %d rejected != %d input",
+				clean.Len(), rep1.Rejected(), d.Len())
+		}
+		again, rep2 := clean.Sanitize(0)
+		if rep2.Rejected() != 0 {
+			return fmt.Errorf("second Sanitize rejected %d traces (%s) from a clean set",
+				rep2.Rejected(), rep2.String())
+		}
+		if again.Len() != clean.Len() {
+			return fmt.Errorf("second Sanitize changed length: %d -> %d", clean.Len(), again.Len())
+		}
+		for i := range clean.Traces {
+			testkit.ExactEqual(nopTB{}, again.Traces[i], clean.Traces[i], "trace")
+			if again.Labels[i] != clean.Labels[i] || again.Programs[i] != clean.Programs[i] {
+				return fmt.Errorf("second Sanitize permuted metadata at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+// TestValidateAgreesWithSanitize pins that the read-only Validate pass and
+// the filtering Sanitize pass count identically, and that every survivor
+// individually passes ValidateTrace.
+func TestValidateAgreesWithSanitize(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 30}, func(g *testkit.G) error {
+		wantLen := g.Size(8, 64)
+		d := defectiveDataset(g, wantLen)
+		rep := d.Validate(wantLen)
+		clean, srep := d.Sanitize(wantLen)
+		if rep != srep {
+			return fmt.Errorf("Validate report %+v != Sanitize report %+v", rep, srep)
+		}
+		if clean.Len() != d.Len()-rep.Rejected() {
+			return fmt.Errorf("Sanitize kept %d, Validate promised %d", clean.Len(), d.Len()-rep.Rejected())
+		}
+		for i, tr := range clean.Traces {
+			if err := ValidateTrace(tr, wantLen); err != nil {
+				return fmt.Errorf("survivor %d still invalid: %v", i, err)
+			}
+		}
+		return nil
+	})
+}
+
+// nopTB panics on failure instead of failing a test — it adapts testkit's
+// assertion helpers for use inside property closures, where a panic is
+// recovered and becomes the shrinkable property error.
+type nopTB struct{}
+
+func (nopTB) Helper()                        {}
+func (nopTB) Fatalf(format string, a ...any) { panic(fmt.Sprintf(format, a...)) }
+func (nopTB) Errorf(format string, a ...any) { panic(fmt.Sprintf(format, a...)) }
+func (nopTB) Logf(string, ...any)            {}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+// KLGaussian's closed form is checked against testkit.KLGaussianQuadrature,
+// which integrates ∫p·ln(p/q) numerically and never touches the closed form.
+// Simpson's rule at 2^14 steps over ±12σ is accurate to ~1e-10 on O(1)
+// divergences, so the comparison runs at testkit.KLTol (1e-6 relative) with a
+// small absolute floor for near-zero divergences.
+
+func TestKLGaussianMatchesQuadrature(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 40}, func(g *testkit.G) error {
+		p := Gaussian{Mean: g.Float64(-5, 5), StdDev: g.Float64(0.05, 3)}
+		q := Gaussian{Mean: g.Float64(-5, 5), StdDev: g.Float64(0.05, 3)}
+		got := KLGaussian(p, q)
+		want := testkit.KLGaussianQuadrature(p.Mean, p.StdDev, q.Mean, q.StdDev, 1<<14)
+		if !testkit.Close(got, want, testkit.KLTol, 1e-8) {
+			return fmt.Errorf("KL(%+v ‖ %+v): closed form %g, quadrature %g (diff %g)",
+				p, q, got, want, got-want)
+		}
+		return nil
+	})
+}
+
+// TestKLGaussianProperties pins the divergence axioms the selection layer
+// relies on: non-negativity, identity of indiscernibles, and exact symmetry
+// of the symmetrized form under argument swap (float addition commutes, so
+// the swap must agree bitwise).
+func TestKLGaussianProperties(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 60}, func(g *testkit.G) error {
+		p := Gaussian{Mean: g.Float64(-5, 5), StdDev: g.Float64(0.01, 4)}
+		q := Gaussian{Mean: g.Float64(-5, 5), StdDev: g.Float64(0.01, 4)}
+		if d := KLGaussian(p, q); d < 0 || math.IsNaN(d) {
+			return fmt.Errorf("KL(%+v ‖ %+v) = %g, want >= 0", p, q, d)
+		}
+		if d := KLGaussian(p, p); math.Abs(d) > 1e-15 {
+			return fmt.Errorf("KL(p‖p) = %g for %+v, want 0", d, p)
+		}
+		ab := SymmetricKLGaussian(p, q)
+		ba := SymmetricKLGaussian(q, p)
+		if math.Float64bits(ab) != math.Float64bits(ba) {
+			return fmt.Errorf("symmetric KL not symmetric: %g vs %g for %+v, %+v", ab, ba, p, q)
+		}
+		return nil
+	})
+}
+
+// TestKLGaussianZeroSigmaClamp pins the MinSigma behavior: a constant
+// (zero-σ) side yields a large finite divergence, never ±Inf or NaN.
+func TestKLGaussianZeroSigmaClamp(t *testing.T) {
+	for _, tc := range []struct{ p, q Gaussian }{
+		{Gaussian{Mean: 0, StdDev: 0}, Gaussian{Mean: 1, StdDev: 1}},
+		{Gaussian{Mean: 1, StdDev: 1}, Gaussian{Mean: 0, StdDev: 0}},
+		{Gaussian{Mean: 0, StdDev: 0}, Gaussian{Mean: 0, StdDev: 0}},
+	} {
+		d := KLGaussian(tc.p, tc.q)
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			t.Fatalf("KL(%+v ‖ %+v) = %g, want finite and non-negative", tc.p, tc.q, d)
+		}
+	}
+}
+
+// TestEstimateGaussianMatchesMoments cross-checks the fitted parameters
+// against Mean/StdDev computed independently over the same samples.
+func TestEstimateGaussianMatchesMoments(t *testing.T) {
+	testkit.Check(t, testkit.CheckConfig{Runs: 20}, func(g *testkit.G) error {
+		xs := g.Trace(g.Size(2, 400))
+		got, err := EstimateGaussian(xs)
+		if err != nil {
+			return err
+		}
+		if !testkit.Close(got.Mean, Mean(xs), 1e-12, 1e-12) {
+			return fmt.Errorf("fitted mean %g, Mean() %g", got.Mean, Mean(xs))
+		}
+		if !testkit.Close(got.StdDev, StdDev(xs), 1e-12, 1e-12) {
+			return fmt.Errorf("fitted sigma %g, StdDev() %g", got.StdDev, StdDev(xs))
+		}
+		return nil
+	})
+}

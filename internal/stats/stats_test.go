@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testkit"
 )
 
 func TestMeanVarianceKnown(t *testing.T) {
@@ -14,9 +16,7 @@ func TestMeanVarianceKnown(t *testing.T) {
 		t.Fatalf("mean = %g", Mean(xs))
 	}
 	// Sum of squared deviations = 32; unbiased variance = 32/7.
-	if math.Abs(Variance(xs)-32.0/7) > 1e-12 {
-		t.Fatalf("variance = %g", Variance(xs))
-	}
+	testkit.InDelta(t, Variance(xs), 32.0/7, 1e-12, "variance")
 	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
 		t.Fatal("degenerate inputs should be 0")
 	}
@@ -30,25 +30,22 @@ func TestEstimateGaussian(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Mean != 2 || math.Abs(g.StdDev-math.Sqrt(2)) > 1e-12 {
+	if g.Mean != 2 {
 		t.Fatalf("g = %+v", g)
 	}
+	testkit.InDelta(t, g.StdDev, math.Sqrt(2), 1e-12, "estimated stddev")
 }
 
 func TestKLGaussianIdentical(t *testing.T) {
 	g := Gaussian{Mean: 1.5, StdDev: 0.3}
-	if d := KLGaussian(g, g); math.Abs(d) > 1e-12 {
-		t.Fatalf("KL(P‖P) = %g, want 0", d)
-	}
+	testkit.InDelta(t, KLGaussian(g, g), 0, 1e-12, "KL(P‖P)")
 }
 
 func TestKLGaussianKnownValue(t *testing.T) {
 	// P = N(0,1), Q = N(1,1): KL = 1/2 (mean shift of 1 with unit variance).
 	p := Gaussian{Mean: 0, StdDev: 1}
 	q := Gaussian{Mean: 1, StdDev: 1}
-	if d := KLGaussian(p, q); math.Abs(d-0.5) > 1e-12 {
-		t.Fatalf("KL = %g, want 0.5", d)
-	}
+	testkit.InDelta(t, KLGaussian(p, q), 0.5, 1e-12, "KL(N(0,1)‖N(1,1))")
 }
 
 func TestKLGaussianAsymmetry(t *testing.T) {
@@ -57,10 +54,8 @@ func TestKLGaussianAsymmetry(t *testing.T) {
 	if KLGaussian(p, q) == KLGaussian(q, p) {
 		t.Fatal("KL should be asymmetric for different variances")
 	}
-	s := SymmetricKLGaussian(p, q)
-	if math.Abs(s-SymmetricKLGaussian(q, p)) > 1e-12 {
-		t.Fatal("symmetric KL must be symmetric")
-	}
+	testkit.InDelta(t, SymmetricKLGaussian(p, q), SymmetricKLGaussian(q, p), 1e-12,
+		"symmetric KL under argument swap")
 }
 
 func TestKLNonNegativeProperty(t *testing.T) {
@@ -136,12 +131,8 @@ func TestZScoreNormalizer(t *testing.T) {
 	// Columns must have mean 0 and unit std after standardization.
 	for j := 0; j < 2; j++ {
 		col := []float64{out[0][j], out[1][j], out[2][j]}
-		if math.Abs(Mean(col)) > 1e-12 {
-			t.Fatalf("col %d mean %g", j, Mean(col))
-		}
-		if math.Abs(StdDev(col)-1) > 1e-12 {
-			t.Fatalf("col %d std %g", j, StdDev(col))
-		}
+		testkit.InDelta(t, Mean(col), 0, 1e-12, "standardized column mean")
+		testkit.InDelta(t, StdDev(col), 1, 1e-12, "standardized column std")
 	}
 	if _, err := z.Apply([]float64{1}); err == nil {
 		t.Fatal("want dimension error")
@@ -162,11 +153,7 @@ func TestNormalizeTraceRemovesOffsetAndGain(t *testing.T) {
 	}
 	a := NormalizeTrace(base)
 	b := NormalizeTrace(shifted)
-	for i := range a {
-		if math.Abs(a[i]-b[i]) > 1e-9 {
-			t.Fatalf("normalization failed to cancel shift at %d: %g vs %g", i, a[i], b[i])
-		}
-	}
+	testkit.AllClose(t, b, a, 0, 1e-9, "normalization of gain+offset shifted trace")
 }
 
 func TestNormalizeTraceProperty(t *testing.T) {
@@ -184,7 +171,7 @@ func TestNormalizeTraceProperty(t *testing.T) {
 			ss += (v - m) * (v - m)
 		}
 		sd := math.Sqrt(ss / float64(len(y)))
-		return math.Abs(m) < 1e-9 && math.Abs(sd-1) < 1e-9
+		return testkit.Close(m, 0, 0, 1e-9) && testkit.Close(sd, 1, 0, 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)

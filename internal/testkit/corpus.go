@@ -1,0 +1,57 @@
+package testkit
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// EncodeCorpus renders one seed-corpus file in the native Go fuzzing format
+// ("go test fuzz v1" followed by one Go literal per fuzz argument). Supported
+// argument types mirror what the repo's fuzz targets take: []byte, string,
+// and the integer kinds.
+func EncodeCorpus(args ...any) ([]byte, error) {
+	var b strings.Builder
+	b.WriteString("go test fuzz v1\n")
+	for _, a := range args {
+		switch v := a.(type) {
+		case []byte:
+			fmt.Fprintf(&b, "[]byte(%q)\n", v)
+		case string:
+			fmt.Fprintf(&b, "string(%q)\n", v)
+		case int:
+			fmt.Fprintf(&b, "int(%d)\n", v)
+		case int64:
+			fmt.Fprintf(&b, "int64(%d)\n", v)
+		case uint16:
+			fmt.Fprintf(&b, "uint16(%d)\n", v)
+		case uint64:
+			fmt.Fprintf(&b, "uint64(%d)\n", v)
+		default:
+			return nil, fmt.Errorf("testkit: unsupported corpus argument type %T", a)
+		}
+	}
+	return []byte(b.String()), nil
+}
+
+// WriteCorpus writes one seed file into testdata/fuzz/<target>/<name> —
+// the directory `go test -fuzz` reads committed seeds from. Packages expose
+// an env-guarded regeneration test around this so the checked-in corpora
+// stay derivable from code.
+func WriteCorpus(t TB, target, name string, args ...any) {
+	t.Helper()
+	data, err := EncodeCorpus(args...)
+	if err != nil {
+		t.Fatalf("encoding corpus %s/%s: %v", target, name, err)
+	}
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("creating corpus dir %s: %v", dir, err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("writing corpus seed %s: %v", path, err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -1,0 +1,215 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// G is one property-check attempt: a seeded random source plus a size
+// multiplier in (0, 1]. Generators scale their dimensions by the multiplier,
+// which is what the shrinker turns down when a property fails — a failure is
+// re-sought at smaller and smaller sizes so the reported counterexample is
+// near-minimal.
+type G struct {
+	Rng   *rand.Rand
+	Seed  int64
+	scale float64
+}
+
+// NewG returns a full-size generator for direct use outside Check — for
+// tests that want one deterministic random input rather than a property run.
+func NewG(seed int64) *G {
+	return &G{Rng: rand.New(rand.NewSource(seed)), Seed: seed, scale: 1}
+}
+
+// Size scales max (≥ min ≥ 1 expected) by the current shrink level. The
+// result never drops below min, so generators keep their structural
+// invariants (e.g. "at least 2 traces") while shrinking.
+func (g *G) Size(min, max int) int {
+	n := min + int(float64(max-min)*g.scale)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// IntBetween draws uniformly from [lo, hi].
+func (g *G) IntBetween(lo, hi int) int {
+	return lo + g.Rng.Intn(hi-lo+1)
+}
+
+// Float64 draws uniformly from [lo, hi).
+func (g *G) Float64(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.Rng.Float64()
+}
+
+// Norm draws a standard normal value.
+func (g *G) Norm() float64 { return g.Rng.NormFloat64() }
+
+// Trace draws an n-sample trace: white noise plus a couple of random
+// sinusoids, the rough spectral shape of the power captures.
+func (g *G) Trace(n int) []float64 {
+	f1 := g.Float64(0.01, 0.45)
+	f2 := g.Float64(0.01, 0.45)
+	a1, a2 := g.Float64(0.2, 2), g.Float64(0.2, 2)
+	p1, p2 := g.Float64(0, 6.28), g.Float64(0, 6.28)
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i)
+		out[i] = a1*math.Sin(2*math.Pi*f1*t+p1) + a2*math.Sin(2*math.Pi*f2*t+p2) + 0.3*g.Norm()
+	}
+	return out
+}
+
+// Traces draws count traces of n samples each.
+func (g *G) Traces(count, n int) [][]float64 {
+	out := make([][]float64, count)
+	for i := range out {
+		out[i] = g.Trace(n)
+	}
+	return out
+}
+
+// Scalogram draws a flattened scales×n plane of non-negative magnitudes —
+// the shape the feature selector indexes.
+func (g *G) Scalogram(scales, n int) []float64 {
+	out := make([]float64, scales*n)
+	for i := range out {
+		v := g.Norm()
+		out[i] = v * v
+	}
+	return out
+}
+
+// Matrix draws an r×c matrix of standard normal entries as rows.
+func (g *G) Matrix(r, c int) [][]float64 {
+	out := make([][]float64, r)
+	for i := range out {
+		row := make([]float64, c)
+		for j := range row {
+			row[j] = g.Norm()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// SPDMatrix draws a well-conditioned symmetric positive definite n×n matrix
+// as B·Bᵀ + n·I with B random normal — eigenvalues are bounded away from
+// zero so Cholesky oracles never hit the indefinite branch by accident.
+func (g *G) SPDMatrix(n int) [][]float64 {
+	B := g.Matrix(n, n)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += B[i][k] * B[j][k]
+			}
+			out[i][j] = s
+			out[j][i] = s
+		}
+		out[i][i] += float64(n)
+	}
+	return out
+}
+
+// Labels draws n labels covering all of 0..nClasses-1 (each class appears at
+// least once when n ≥ nClasses, keeping downstream per-class statistics
+// estimable).
+func (g *G) Labels(n, nClasses int) []int {
+	out := make([]int, n)
+	for i := range out {
+		if i < nClasses {
+			out[i] = i
+		} else {
+			out[i] = g.Rng.Intn(nClasses)
+		}
+	}
+	g.Rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// LabeledDataset draws a trace dataset with labels and program IDs: every
+// (class, program) cell gets perCell traces so per-class and per-program
+// statistics are always estimable.
+func (g *G) LabeledDataset(nClasses, nPrograms, perCell, traceLen int) (traces [][]float64, labels, programs []int) {
+	for c := 0; c < nClasses; c++ {
+		// A per-class offset separates the classes so selection has signal.
+		off := g.Float64(-1, 1)
+		for p := 0; p < nPrograms; p++ {
+			for i := 0; i < perCell; i++ {
+				tr := g.Trace(traceLen)
+				for k := range tr {
+					tr[k] += off * math.Sin(0.2*float64(k))
+				}
+				traces = append(traces, tr)
+				labels = append(labels, c)
+				programs = append(programs, p)
+			}
+		}
+	}
+	return traces, labels, programs
+}
+
+// CheckConfig tunes a property run.
+type CheckConfig struct {
+	// Runs is how many seeded attempts to make (default 20).
+	Runs int
+	// Seed is the base seed; attempt i uses Seed+i (default 1).
+	Seed int64
+	// ShrinkSteps bounds the shrink search (default 8 halvings).
+	ShrinkSteps int
+}
+
+// Check runs prop over deterministically seeded generators. prop returns a
+// non-nil error to reject the attempt. On failure Check shrinks: the same
+// seed is retried with the size multiplier halved while the property still
+// fails, and the minimal failing (seed, scale) is reported so the failure
+// reproduces with `go test` alone — no flaky randomness, no hidden state.
+func Check(t TB, cfg CheckConfig, prop func(g *G) error) {
+	t.Helper()
+	if cfg.Runs <= 0 {
+		cfg.Runs = 20
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ShrinkSteps <= 0 {
+		cfg.ShrinkSteps = 8
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		seed := cfg.Seed + int64(i)
+		err := runProp(seed, 1, prop)
+		if err == nil {
+			continue
+		}
+		// Shrink: halve the size multiplier while the failure persists.
+		failScale, failErr := 1.0, err
+		scale := 0.5
+		for step := 0; step < cfg.ShrinkSteps; step++ {
+			if e := runProp(seed, scale, prop); e != nil {
+				failScale, failErr = scale, e
+				scale /= 2
+				continue
+			}
+			break // shrunk too far; the previous failure is minimal
+		}
+		t.Fatalf("property failed (seed=%d, scale=%g; rerun with these in a G): %v",
+			seed, failScale, failErr)
+	}
+}
+
+// runProp evaluates one attempt, converting a panic into a property error so
+// the shrinker can keep working on panicking counterexamples too.
+func runProp(seed int64, scale float64, prop func(g *G) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	g := &G{Rng: rand.New(rand.NewSource(seed)), Seed: seed, scale: scale}
+	return prop(g)
+}

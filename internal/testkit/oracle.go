@@ -1,0 +1,264 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the differential oracles: small reference implementations
+// of the numeric kernels, written the obvious way (direct convolution,
+// textbook formulas, dense O(n³) loops). The optimized production paths are
+// compared against them over seeded random inputs with the tolerances
+// declared in testkit.go.
+
+// DirectCWT computes the magnitude scalogram of x by direct time-domain
+// convolution with the analytic Morlet wavelet — the O(n·k) definition the
+// FFT path in internal/dsp must reproduce:
+//
+//	out[j][k] = | Σ_i  x[i] · ψ_{s_j}(k−i) |
+//	ψ_s(t)   = π^{−1/4} s^{−1/2} exp(−(t/s)²/2) exp(i ω₀ t/s)
+//
+// The envelope is truncated at halfWidthSigmas·s samples, matching the
+// production kernel's support. scales are taken from the transform under
+// test so both paths evaluate the identical scale bank.
+func DirectCWT(x []float64, scales []float64, omega0, halfWidthSigmas float64) [][]float64 {
+	out := make([][]float64, len(scales))
+	for j, s := range scales {
+		half := int(math.Ceil(halfWidthSigmas * s))
+		norm := math.Pow(math.Pi, -0.25) / math.Sqrt(s)
+		row := make([]float64, len(x))
+		for k := range x {
+			var re, im float64
+			for i := k - half; i <= k+half; i++ {
+				if i < 0 || i >= len(x) {
+					continue
+				}
+				t := float64(k-i) / s
+				env := norm * math.Exp(-0.5*t*t)
+				re += x[i] * env * math.Cos(omega0*t)
+				im += x[i] * env * math.Sin(omega0*t)
+			}
+			row[k] = math.Hypot(re, im)
+		}
+		out[j] = row
+	}
+	return out
+}
+
+// KLGaussianQuadrature evaluates D_KL(P‖Q) = ∫ p(x) ln(p(x)/q(x)) dx for
+// univariate Gaussians by Simpson's rule, never using the closed form the
+// production code implements. The integrand decays like a Gaussian, so a
+// ±12σ window around both means captures it far beyond float precision.
+// steps must be even; 1<<14 gives ~1e-10 accuracy on O(1) divergences.
+func KLGaussianQuadrature(muP, sigmaP, muQ, sigmaQ float64, steps int) float64 {
+	if steps%2 != 0 {
+		steps++
+	}
+	lo := math.Min(muP-12*sigmaP, muQ-12*sigmaQ)
+	hi := math.Max(muP+12*sigmaP, muQ+12*sigmaQ)
+	h := (hi - lo) / float64(steps)
+	logPdf := func(x, mu, sigma float64) float64 {
+		d := (x - mu) / sigma
+		return -0.5*d*d - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+	}
+	f := func(x float64) float64 {
+		lp := logPdf(x, muP, sigmaP)
+		return math.Exp(lp) * (lp - logPdf(x, muQ, sigmaQ))
+	}
+	sum := f(lo) + f(hi)
+	for i := 1; i < steps; i++ {
+		x := lo + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// BruteKNNPredict classifies x by the plain definition of k-nearest
+// neighbors: scan all training rows, pick the k smallest squared Euclidean
+// distances by repeated minimum extraction (lowest index wins distance
+// ties), majority vote with ties broken toward the lowest class label.
+func BruteKNNPredict(X [][]float64, y []int, x []float64, k, nClasses int) int {
+	d := make([]float64, len(X))
+	for i, row := range X {
+		var s float64
+		for j := range row {
+			diff := row[j] - x[j]
+			s += diff * diff
+		}
+		d[i] = s
+	}
+	taken := make([]bool, len(X))
+	votes := make([]int, nClasses)
+	for picked := 0; picked < k; picked++ {
+		best := -1
+		for i := range d {
+			if taken[i] {
+				continue
+			}
+			if best == -1 || d[i] < d[best] {
+				best = i
+			}
+		}
+		taken[best] = true
+		votes[y[best]]++
+	}
+	bestClass, bestVotes := 0, votes[0]
+	for c := 1; c < nClasses; c++ {
+		if votes[c] > bestVotes {
+			bestClass, bestVotes = c, votes[c]
+		}
+	}
+	return bestClass
+}
+
+// NaiveCovariance computes the unbiased sample covariance of X (rows are
+// samples) with the textbook two-pass formula:
+// cov[i][j] = Σ_r (X[r][i]−μ_i)(X[r][j]−μ_j) / (n−1).
+func NaiveCovariance(X [][]float64) [][]float64 {
+	n := len(X)
+	p := len(X[0])
+	mu := make([]float64, p)
+	for _, row := range X {
+		for j, v := range row {
+			mu[j] += v
+		}
+	}
+	for j := range mu {
+		mu[j] /= float64(n)
+	}
+	cov := make([][]float64, p)
+	for i := range cov {
+		cov[i] = make([]float64, p)
+		for j := 0; j < p; j++ {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += (X[r][i] - mu[i]) * (X[r][j] - mu[j])
+			}
+			cov[i][j] = s / float64(n-1)
+		}
+	}
+	return cov
+}
+
+// NaiveCholesky factorizes the symmetric positive definite matrix a into
+// its lower-triangular factor with the textbook Cholesky–Banachiewicz
+// recurrence, returning ok=false when a pivot is non-positive.
+func NaiveCholesky(a [][]float64) (L [][]float64, ok bool) {
+	n := len(a)
+	L = make([][]float64, n)
+	for i := range L {
+		L[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			d += L[j][k] * L[j][k]
+		}
+		d = a[j][j] - d
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		L[j][j] = math.Sqrt(d)
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += L[i][k] * L[j][k]
+			}
+			L[i][j] = (a[i][j] - s) / L[j][j]
+		}
+	}
+	return L, true
+}
+
+// MulLLT returns L·Lᵀ — the reconstruction identity a Cholesky factor must
+// satisfy.
+func MulLLT(L [][]float64) [][]float64 {
+	n := len(L)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= min(i, j); k++ {
+				s += L[i][k] * L[j][k]
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+// SolveGauss solves A·x = b by Gaussian elimination with partial pivoting —
+// the reference for triangular-solve paths. It returns an error for a
+// numerically singular system.
+func SolveGauss(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	// Work on copies: the oracle must not mutate the caller's data.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], A[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-300 {
+			return nil, fmt.Errorf("testkit: singular system at column %d", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// GramMatrix returns V·Vᵀ for a row-major matrix V — used to assert
+// orthonormality of PCA components (the Gram matrix of orthonormal rows is
+// the identity).
+func GramMatrix(V [][]float64) [][]float64 {
+	k := len(V)
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			var s float64
+			for c := range V[i] {
+				s += V[i][c] * V[j][c]
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+// Identity returns the n×n identity matrix, the comparison target for
+// GramMatrix.
+func Identity(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		out[i][i] = 1
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Package testkit is the repo's correctness harness: shared float
+// tolerances, small obviously-correct reference implementations
+// (differential oracles) of the numeric kernels, and a seeded
+// property-based generator library with shrinking.
+//
+// The package deliberately imports nothing outside the standard library, so
+// in-package tests of any internal package can use it without import cycles.
+// Oracles operate on plain slices; the tests adapt package types at the call
+// site. Every oracle is written for clarity over speed — direct convolution,
+// textbook formulas, O(n²) scans — because its only job is to be obviously
+// right at small sizes.
+//
+// Documented tolerances (see DESIGN.md §10 for the rationale table):
+//
+//   - CWTTol: FFT-convolution CWT vs direct convolution. The padded FFT does
+//     O(m log m) rounding steps versus the oracle's O(k); 1e-9 relative with
+//     a 1e-12 absolute floor covers 315-sample traces with 50 scales at
+//     >100× margin.
+//   - KLTol: closed-form Gaussian KL vs numerical quadrature; limited by the
+//     integration step, not the closed form. 1e-6 relative.
+//   - LinalgTol: Cholesky/solve/covariance identities; condition numbers in
+//     the tests are kept below ~1e6, so 1e-8 relative holds easily.
+//   - ExactTol: paths that must agree bitwise (serial vs parallel pipeline
+//     results) — zero tolerance, compared with ==.
+package testkit
+
+// Shared tolerances for the differential-oracle tests. Keep these in sync
+// with the table in DESIGN.md ("Testing & verification strategy").
+const (
+	// CWTTol is the relative tolerance for FFT-vs-direct CWT comparisons.
+	CWTTol = 1e-9
+	// KLTol is the relative tolerance for closed-form vs quadrature KL.
+	KLTol = 1e-6
+	// LinalgTol is the relative tolerance for matrix-identity checks.
+	LinalgTol = 1e-8
+	// DefaultAtol is the absolute floor used alongside relative tolerances,
+	// so comparisons against exact zeros do not demand infinite precision.
+	DefaultAtol = 1e-12
+)

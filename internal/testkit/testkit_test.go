@@ -1,0 +1,152 @@
+package testkit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// recorder captures Fatalf calls so the harness's own failure paths can be
+// asserted without aborting the enclosing test.
+type recorder struct {
+	fatals []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Logf(string, ...any) {}
+
+func TestULPDiff(t *testing.T) {
+	if ULPDiff(1.0, 1.0) != 0 {
+		t.Fatal("identical values must be 0 ulp apart")
+	}
+	if d := ULPDiff(1.0, math.Nextafter(1.0, 2)); d != 1 {
+		t.Fatalf("adjacent floats are %d ulp apart, want 1", d)
+	}
+	// The mapping must be monotone across zero.
+	if d := ULPDiff(-math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64); d != 2 {
+		t.Fatalf("subnormals straddling zero are %d ulp apart, want 2", d)
+	}
+	if ULPDiff(math.NaN(), 1) != math.MaxUint64 || ULPDiff(math.Inf(1), 1) != math.MaxUint64 {
+		t.Fatal("NaN/Inf must be maximally far from finite values")
+	}
+}
+
+func TestClose(t *testing.T) {
+	if !Close(1.0, 1.0, 0, 0) {
+		t.Fatal("exact equality must be close at zero tolerance")
+	}
+	if !Close(math.Inf(1), math.Inf(1), 0, 0) {
+		t.Fatal("equal infinities must be close")
+	}
+	if Close(math.NaN(), math.NaN(), 1, 1) {
+		t.Fatal("NaN must never be close, even to NaN")
+	}
+	if !Close(1.0+1e-9, 1.0, 1e-8, 0) || Close(1.0+1e-7, 1.0, 1e-8, 0) {
+		t.Fatal("relative tolerance boundary wrong")
+	}
+	if !Close(1e-13, 0, 0, 1e-12) || Close(1e-11, 0, 0, 1e-12) {
+		t.Fatal("absolute tolerance boundary wrong")
+	}
+}
+
+func TestAssertionHelpersReportFirstMismatch(t *testing.T) {
+	r := &recorder{}
+	AllClose(r, []float64{1, 2, 3}, []float64{1, 2.5, 3}, 0, 1e-9, "probe")
+	if len(r.fatals) != 1 || !strings.Contains(r.fatals[0], "probe[1]") {
+		t.Fatalf("AllClose mismatch report = %q", r.fatals)
+	}
+	r = &recorder{}
+	ExactEqual(r, []float64{1, math.Copysign(0, -1)}, []float64{1, 0}, "zeros")
+	if len(r.fatals) != 1 {
+		t.Fatalf("ExactEqual must distinguish -0 from +0 bitwise: %q", r.fatals)
+	}
+	r = &recorder{}
+	InDelta(r, 1, 1+1e-6, 1e-9, "x")
+	if len(r.fatals) != 1 {
+		t.Fatal("InDelta must fail outside tolerance")
+	}
+}
+
+func TestCheckShrinksToMinimalScale(t *testing.T) {
+	// A property that fails whenever the generated size exceeds the floor:
+	// shrinking must walk the reported scale down to the smallest still-failing
+	// multiplier rather than reporting the full-size counterexample.
+	r := &recorder{}
+	Check(r, CheckConfig{Runs: 1, Seed: 5}, func(g *G) error {
+		if n := g.Size(2, 64); n > 2 {
+			return errors.New("too big")
+		}
+		return nil
+	})
+	if len(r.fatals) != 1 {
+		t.Fatalf("want one failure, got %q", r.fatals)
+	}
+	// Size(2,64) stays above 2 down to scale 1/32 and hits the floor (passing)
+	// at 1/64, so 1/32 is the minimal failing scale the shrinker must find.
+	if !strings.Contains(r.fatals[0], "scale=0.03125") {
+		t.Fatalf("failure not shrunk to minimal scale: %q", r.fatals[0])
+	}
+}
+
+func TestCheckConvertsPanics(t *testing.T) {
+	r := &recorder{}
+	Check(r, CheckConfig{Runs: 1}, func(g *G) error {
+		panic("boom")
+	})
+	if len(r.fatals) != 1 || !strings.Contains(r.fatals[0], "panic: boom") {
+		t.Fatalf("panic not converted to failure: %q", r.fatals)
+	}
+}
+
+func TestCheckPassesCleanProperty(t *testing.T) {
+	Check(t, CheckConfig{Runs: 5}, func(g *G) error {
+		if got := len(g.Trace(g.Size(4, 32))); got < 4 {
+			return errors.New("trace below structural minimum")
+		}
+		return nil
+	})
+}
+
+func TestGeneratorInvariants(t *testing.T) {
+	g := NewG(3)
+	labels := g.Labels(10, 4)
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	for c := 0; c < 4; c++ {
+		if !seen[c] {
+			t.Fatalf("Labels(10,4) missed class %d: %v", c, labels)
+		}
+	}
+	spd := g.SPDMatrix(5)
+	if _, ok := NaiveCholesky(spd); !ok {
+		t.Fatal("SPDMatrix not positive definite")
+	}
+	traces, lab, prog := g.LabeledDataset(3, 2, 4, 16)
+	if len(traces) != 24 || len(lab) != 24 || len(prog) != 24 {
+		t.Fatalf("LabeledDataset sizes %d/%d/%d, want 24 each", len(traces), len(lab), len(prog))
+	}
+}
+
+func TestEncodeCorpusFormat(t *testing.T) {
+	got, err := EncodeCorpus([]byte{0x01}, "hi", 7, int64(-2), uint16(9), uint64(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "go test fuzz v1\n[]byte(\"\\x01\")\nstring(\"hi\")\nint(7)\nint64(-2)\nuint16(9)\nuint64(8)\n"
+	if string(got) != want {
+		t.Fatalf("corpus encoding:\n%q\nwant\n%q", got, want)
+	}
+	if _, err := EncodeCorpus(3.14); err == nil {
+		t.Fatal("unsupported argument type must error")
+	}
+}

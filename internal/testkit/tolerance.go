@@ -1,0 +1,138 @@
+package testkit
+
+import (
+	"math"
+)
+
+// TB is the subset of *testing.T the assertion helpers need. Taking the
+// interface (instead of *testing.T) keeps testkit importable from fuzz
+// targets and benchmarks too.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+	Logf(format string, args ...any)
+}
+
+// ULPDiff returns the distance between a and b in units of last place —
+// how many representable float64 values lie between them. NaN or Inf on
+// either side yields MaxUint64 unless the values are identical.
+func ULPDiff(a, b float64) uint64 {
+	if a == b {
+		return 0
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.MaxUint64
+	}
+	// Map the float ordering onto an integer ordering (lexicographic trick:
+	// negative floats are flipped so the mapping is monotone).
+	ia := int64(math.Float64bits(a))
+	if ia < 0 {
+		ia = math.MinInt64 - ia
+	}
+	ib := int64(math.Float64bits(b))
+	if ib < 0 {
+		ib = math.MinInt64 - ib
+	}
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return uint64(d)
+}
+
+// Close reports whether got is within rtol·|want| + atol of want. NaNs are
+// never close to anything (including NaN), matching the pipeline's "no NaN
+// may survive" posture.
+func Close(got, want, rtol, atol float64) bool {
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return false
+	}
+	if got == want { // covers equal infinities and exact zeros
+		return true
+	}
+	return math.Abs(got-want) <= rtol*math.Abs(want)+atol
+}
+
+// InDelta fails the test when |got−want| > tol (an absolute comparison; use
+// CloseTo for relative). The message names what was compared.
+func InDelta(t TB, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) || math.IsNaN(want) || math.Abs(got-want) > tol {
+		t.Fatalf("%s = %g, want %g (±%g, diff %g, %d ulp)",
+			what, got, want, tol, got-want, ULPDiff(got, want))
+	}
+}
+
+// CloseTo fails the test when got is not within rtol·|want|+DefaultAtol of
+// want.
+func CloseTo(t TB, got, want, rtol float64, what string) {
+	t.Helper()
+	if !Close(got, want, rtol, DefaultAtol) {
+		t.Fatalf("%s = %g, want %g (rtol %g, diff %g, %d ulp)",
+			what, got, want, rtol, got-want, ULPDiff(got, want))
+	}
+}
+
+// AllClose fails the test unless got and want are index-aligned and every
+// element is within rtol·|want[i]| + atol. The first offending index is
+// reported with its ULP distance.
+func AllClose(t TB, got, want []float64, rtol, atol float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if !Close(got[i], want[i], rtol, atol) {
+			t.Fatalf("%s[%d] = %g, want %g (rtol %g, atol %g, diff %g, %d ulp)",
+				what, i, got[i], want[i], rtol, atol, got[i]-want[i], ULPDiff(got[i], want[i]))
+		}
+	}
+}
+
+// AllClose2D is AllClose over a matrix (slice of equal-length rows).
+func AllClose2D(t TB, got, want [][]float64, rtol, atol float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d has %d cols, want %d", what, i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if !Close(got[i][j], want[i][j], rtol, atol) {
+				t.Fatalf("%s[%d][%d] = %g, want %g (rtol %g, atol %g, diff %g, %d ulp)",
+					what, i, j, got[i][j], want[i][j], rtol, atol,
+					got[i][j]-want[i][j], ULPDiff(got[i][j], want[i][j]))
+			}
+		}
+	}
+}
+
+// ExactEqual fails the test unless got and want agree bitwise — the
+// assertion for paths documented to be deterministic regardless of worker
+// count (serial vs parallel extraction, cancelled-then-retried runs).
+func ExactEqual(t TB, got, want []float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %v (bits %016x), want %v (bits %016x): paths documented bitwise-identical diverged",
+				what, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// ExactEqual2D is ExactEqual over row slices.
+func ExactEqual2D(t TB, got, want [][]float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		ExactEqual(t, got[i], want[i], what)
+	}
+}

@@ -32,10 +32,12 @@ lint: vet
 bench:
 	$(GO) test -run '^$$' -bench Pipeline -benchmem .
 
-# Observability overhead gate: fails when the metrics+tracing path makes
-# FitPipeline more than 3% slower than the nil-registry fast path.
+# Observability overhead gates: fail when the metrics+tracing path makes
+# FitPipeline more than 3% slower than the nil-registry fast path, or when
+# decision recording (scored path + log + drift monitor) costs more than 3%
+# over plain decoding.
 bench-compare:
-	BENCH_COMPARE=1 $(GO) test -run TestMetricsOverheadBudget -v .
+	BENCH_COMPARE=1 $(GO) test -run 'TestMetricsOverheadBudget|TestDecisionOverheadBudget' -v .
 
 # Every native fuzz target, run briefly from its committed seed corpus. Go
 # allows one -fuzz pattern per invocation, so iterate; -run '^$$' skips the
@@ -50,10 +52,10 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzOptionsFlagParsing$$' -fuzztime $(FUZZTIME) ./internal/obs
 
 # Coverage with a ratcheted floor: raise COVER_FLOOR when coverage improves,
-# never lower it (measured 70.1% when introduced). -short skips the e2e
+# never lower it (measured 72.3% when last ratcheted). -short skips the e2e
 # accuracy gate so the number reflects unit/property/oracle coverage and
 # stays fast.
-COVER_FLOOR ?= 68.0
+COVER_FLOOR ?= 71.0
 cover:
 	$(GO) test -short -shuffle=on -coverprofile=coverage.out ./...
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \

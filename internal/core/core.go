@@ -29,14 +29,18 @@ import (
 // met holds the disassembly instrument handles; nil (no-op) until a registry
 // is installed with obs.SetDefault.
 var met struct {
-	classified *obs.Counter // core.traces.classified — Classify calls that succeeded
-	rejected   *obs.Counter // core.traces.rejected — Classify calls that failed
+	classified      *obs.Counter   // core.traces.classified — Classify calls that succeeded
+	rejected        *obs.Counter   // core.traces.rejected — Classify calls that failed
+	confidence      *obs.Histogram // core.decision.confidence — overall decision confidences
+	decisionLogErrs *obs.Counter   // core.decision_log.errors — failed JSONL writes
 }
 
 func init() {
 	obs.OnDefault(func(r *obs.Registry) {
 		met.classified = r.Counter("core.traces.classified")
 		met.rejected = r.Counter("core.traces.rejected")
+		met.confidence = r.HistogramWith("core.decision.confidence", obs.UnitBuckets())
+		met.decisionLogErrs = r.Counter("core.decision_log.errors")
 	})
 }
 
@@ -160,6 +164,7 @@ type Disassembler struct {
 	rd         groupLevel
 	rr         groupLevel
 	haveRegs   bool
+	observer   *InferenceObserver // inference-quality sinks; nil = disabled
 }
 
 // ErrNotTrained is returned when a Disassembler lacks a required level.
@@ -175,6 +180,12 @@ var ErrNotTrained = errors.New("core: disassembler not trained")
 // wrong-length capture is rejected with a typed error instead of silently
 // producing a garbage label.
 func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
+	if d.observer != nil {
+		// An installed observer wants the scored path: same labels (the
+		// scored predictors argmax the same scores), plus sink feeding.
+		dec, err := d.ClassifyScored(trace)
+		return dec.Decoded, err
+	}
 	if d.group.pipe == nil || d.group.clf == nil {
 		return Decoded{}, ErrNotTrained
 	}
@@ -290,8 +301,20 @@ func (d *Disassembler) Disassemble(traces [][]float64) ([]Decoded, error) {
 // returned, exactly like the serial flow; on cancellation the scheduling of
 // new traces stops and the call returns a nil listing with ctx.Err().
 func (d *Disassembler) DisassembleCtx(ctx context.Context, traces [][]float64) ([]Decoded, error) {
+	if d.observer != nil {
+		decs, err := d.DisassembleScoredCtx(ctx, traces)
+		if decs == nil {
+			return nil, err
+		}
+		out := make([]Decoded, len(decs))
+		for i, dec := range decs {
+			out[i] = dec.Decoded
+		}
+		return out, err
+	}
 	ctx, span := obs.Span(ctx, "core.disassemble")
 	defer span.End()
+	span.SetAttr("traces", float64(len(traces)))
 	out := make([]Decoded, len(traces))
 	var (
 		mu       sync.Mutex
@@ -310,6 +333,68 @@ func (d *Disassembler) DisassembleCtx(ctx context.Context, traces [][]float64) (
 		}
 		out[i] = dec
 	})
+	if failWith != nil {
+		return out[:failIdx], fmt.Errorf("core: trace %d: %w", failIdx, failWith)
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return out, nil
+}
+
+// DisassembleScored is DisassembleScoredCtx with a background context.
+func (d *Disassembler) DisassembleScored(traces [][]float64) ([]Decision, error) {
+	return d.DisassembleScoredCtx(context.Background(), traces)
+}
+
+// DisassembleScoredCtx decodes a stream of traces with per-decision
+// confidence. Classification fans out over the parallel.Workers() pool;
+// the installed observer is then fed serially in trace-stream order, so the
+// decision log's sampled records and the drift monitor's window contents
+// are identical to a serial run regardless of worker count. Error semantics
+// match DisassembleCtx (decoded prefix + lowest-index error; observer sees
+// only the clean prefix).
+func (d *Disassembler) DisassembleScoredCtx(ctx context.Context, traces [][]float64) ([]Decision, error) {
+	ctx, span := obs.Span(ctx, "core.disassemble")
+	defer span.End()
+	span.SetAttr("traces", float64(len(traces)))
+	out := make([]Decision, len(traces))
+	driftVecs := make([][]float64, len(traces))
+	var (
+		mu       sync.Mutex
+		failIdx  = len(traces)
+		failWith error
+	)
+	ctxErr := parallel.ForCtx(ctx, len(traces), func(i int) {
+		dec, dv, err := d.classifyScored(traces[i])
+		if err != nil {
+			mu.Lock()
+			if i < failIdx {
+				failIdx, failWith = i, err
+			}
+			mu.Unlock()
+			return
+		}
+		out[i] = dec
+		driftVecs[i] = dv
+	})
+	if ctxErr == nil {
+		var confSum float64
+		for i := 0; i < failIdx; i++ {
+			d.feedObserver(out[i], driftVecs[i])
+			confSum += out[i].Confidence
+		}
+		if failIdx > 0 {
+			span.SetAttr("confidence.mean", confSum/float64(failIdx))
+		}
+		if o := d.observer; o != nil {
+			if o.Drift != nil {
+				span.SetAttr("drift.score", o.Drift.Score())
+				span.SetAttr("drift.state", float64(o.Drift.State()))
+			}
+			span.SetAttr("decisions.seen", float64(o.Log.Seen()))
+		}
+	}
 	if failWith != nil {
 		return out[:failIdx], fmt.Errorf("core: trace %d: %w", failIdx, failWith)
 	}

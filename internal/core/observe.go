@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/avr"
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/obs"
+	"repro/internal/power"
+)
+
+// InferenceObserver bundles the inference-quality sinks a Disassembler
+// feeds while classifying: the sampled JSONL decision log, the
+// covariate-shift drift monitor, and the calibration tracker. Any field may
+// be nil — every sink is individually optional and nil-safe.
+type InferenceObserver struct {
+	// Log receives one DecisionRecord per successful classification
+	// (sampled inside the log).
+	Log *obs.DecisionLog
+	// Drift receives one drift vector (see features.Pipeline.DriftVector)
+	// per successful classification.
+	Drift *obs.DriftMonitor
+	// Calibration receives ground-truth-labeled confidences from
+	// CheckProgram runs (online confidence-only feeding is up to the
+	// caller).
+	Calibration *obs.Reliability
+}
+
+// SetObserver installs the inference-quality sinks. Classify, Disassemble
+// and CheckProgram feed them from then on; scored classification is used
+// automatically. Must be called before classification starts — the field is
+// read without synchronization on the hot path.
+func (d *Disassembler) SetObserver(o *InferenceObserver) { d.observer = o }
+
+// Observer returns the installed sinks, or nil.
+func (d *Disassembler) Observer() *InferenceObserver { return d.observer }
+
+// DriftBaseline returns the training-time drift reference of the group
+// pipeline (the shared front of the hierarchy), or nil for templates saved
+// by builds predating drift support.
+func (d *Disassembler) DriftBaseline() *features.FeatureBaseline {
+	if d.group.pipe == nil {
+		return nil
+	}
+	return d.group.pipe.DriftBaseline()
+}
+
+// ErrNoDriftBaseline is returned by NewDriftMonitor for templates that
+// predate drift support (format version 1): they carry no training-time
+// feature statistics to compare against.
+var ErrNoDriftBaseline = errors.New("core: template lacks a drift baseline (saved by an older build); retrain to enable drift monitoring")
+
+// NewDriftMonitor builds a covariate-shift monitor against this
+// disassembler's training baseline.
+func (d *Disassembler) NewDriftMonitor(cfg obs.DriftConfig) (*obs.DriftMonitor, error) {
+	if d.group.pipe == nil {
+		return nil, ErrNotTrained
+	}
+	b := d.DriftBaseline()
+	if b == nil {
+		return nil, ErrNoDriftBaseline
+	}
+	return obs.NewDriftMonitor(obs.DriftBaseline{Names: b.Names, Mean: b.Mean, Std: b.Std}, cfg)
+}
+
+// Decision is a Decoded instruction annotated with how confidently each
+// hierarchy level decided it.
+type Decision struct {
+	Decoded
+	// Confidence is the product of the per-level confidences — the
+	// probability the whole chain is right under level independence.
+	Confidence float64
+	// Levels holds the per-level outcomes, outermost (group) first.
+	Levels []obs.DecisionLevel
+}
+
+// Record converts the decision into its decision-log form (Seq is assigned
+// by the log).
+func (dec Decision) Record() obs.DecisionRecord {
+	return obs.DecisionRecord{
+		Text:       dec.Decoded.String(),
+		Confidence: dec.Confidence,
+		Levels:     dec.Levels,
+	}
+}
+
+// predictScored runs the classifier's scored path when it has one, and
+// otherwise falls back to Predict with a degenerate full-confidence score so
+// externally supplied Classifier implementations keep working.
+func predictScored(clf ml.Classifier, f []float64) (ml.ScoredPrediction, error) {
+	if sc, ok := clf.(ml.ScoredClassifier); ok {
+		return sc.PredictScored(f)
+	}
+	lbl, err := clf.Predict(f)
+	if err != nil {
+		return ml.ScoredPrediction{}, err
+	}
+	return ml.ScoredPrediction{Label: lbl, RunnerUp: -1, Confidence: 1, Margin: 1}, nil
+}
+
+// classifyScalogramScored is classifyScalogram with per-level confidence:
+// the same hierarchy walk against the shared raw scalogram, using
+// PredictScored — which returns the exact label Predict would — and
+// accumulating a DecisionLevel per stage.
+func (d *Disassembler) classifyScalogramScored(flat []float64) (Decision, error) {
+	dec := Decision{Confidence: 1, Levels: make([]obs.DecisionLevel, 0, 4)}
+	level := func(name string, lvl groupLevel) (int, error) {
+		f, err := lvl.pipe.ExtractFromScalogram(flat)
+		if err != nil {
+			return 0, fmt.Errorf("core: %s features: %w", name, err)
+		}
+		sp, err := predictScored(lvl.clf, f)
+		if err != nil {
+			return 0, fmt.Errorf("core: %s classify: %w", name, err)
+		}
+		dec.Levels = append(dec.Levels, obs.DecisionLevel{
+			Level:      name,
+			Label:      sp.Label,
+			RunnerUp:   sp.RunnerUp,
+			Confidence: sp.Confidence,
+			Margin:     sp.Margin,
+		})
+		dec.Confidence *= sp.Confidence
+		return sp.Label, nil
+	}
+	gi, err := level("group", d.group)
+	if err != nil {
+		return Decision{}, err
+	}
+	if gi < 0 || gi >= avr.NumGroups {
+		return Decision{}, fmt.Errorf("core: group label %d out of range", gi)
+	}
+	lvl := d.instr[gi]
+	if lvl.pipe == nil || lvl.clf == nil {
+		return Decision{}, fmt.Errorf("core: no instruction templates for group %d: %w", gi+1, ErrNotTrained)
+	}
+	ii, err := level("instr", lvl)
+	if err != nil {
+		return Decision{}, err
+	}
+	if ii < 0 || ii >= len(d.instrClass[gi]) {
+		return Decision{}, fmt.Errorf("core: instruction label %d out of range for group %d", ii, gi+1)
+	}
+	cls := d.instrClass[gi][ii]
+	dec.Decoded = Decoded{Class: cls, Group: cls.Group()}
+
+	if d.haveRegs {
+		sp := avr.SpecOf(cls)
+		needRd, needRr := operandRegisters(sp.Operands, cls)
+		if needRd {
+			r, err := level("rd", d.rd)
+			if err != nil {
+				return Decision{}, err
+			}
+			dec.Rd, dec.HasRd = uint8(r), true
+		}
+		if needRr {
+			r, err := level("rr", d.rr)
+			if err != nil {
+				return Decision{}, err
+			}
+			dec.Rr, dec.HasRr = uint8(r), true
+		}
+	}
+	return dec, nil
+}
+
+// classifyScored validates and classifies one trace on the scored path,
+// also assembling the drift vector from the shared scalogram when a drift
+// monitor is installed (so drift monitoring costs no extra CWT). It does
+// NOT feed the observer — callers decide between inline (streaming) and
+// serial in-order (batch) feeding.
+func (d *Disassembler) classifyScored(trace []float64) (Decision, []float64, error) {
+	if d.group.pipe == nil || d.group.clf == nil {
+		return Decision{}, nil, ErrNotTrained
+	}
+	if err := power.ValidateTrace(trace, d.group.pipe.TraceLen()); err != nil {
+		met.rejected.Inc()
+		return Decision{}, nil, fmt.Errorf("core: rejecting trace: %w", err)
+	}
+	flat, err := d.group.pipe.RawScalogram(trace)
+	if err != nil {
+		met.rejected.Inc()
+		return Decision{}, nil, fmt.Errorf("core: group features: %w", err)
+	}
+	dec, err := d.classifyScalogramScored(flat)
+	if err != nil {
+		met.rejected.Inc()
+		return Decision{}, nil, err
+	}
+	met.classified.Inc()
+	var dv []float64
+	if o := d.observer; o != nil && o.Drift != nil {
+		if dv, err = d.group.pipe.DriftVector(trace); err != nil {
+			dv = nil // length mismatch is impossible after validation; stay lenient
+		}
+	}
+	return dec, dv, nil
+}
+
+// feedObserver pushes one successful decision into the installed sinks.
+func (d *Disassembler) feedObserver(dec Decision, driftVec []float64) {
+	o := d.observer
+	if o == nil {
+		return
+	}
+	met.confidence.Observe(dec.Confidence)
+	if driftVec != nil {
+		o.Drift.Observe(driftVec)
+	}
+	if err := o.Log.Record(dec.Record()); err != nil {
+		met.decisionLogErrs.Inc()
+	}
+}
+
+// ObserveTrace feeds the installed drift monitor with one trace's covariate
+// statistics without classifying it. Covariate shift is a property of the
+// input stream, not of classification success — under severe drift the
+// hierarchy walk starts failing (wrong group → untrained level) and a
+// monitor fed only from successful decisions would starve exactly when it
+// matters most. It also lets a monitor watch traffic whose instruction mix
+// the trained subset does not cover. No-op (nil error) without a drift sink.
+func (d *Disassembler) ObserveTrace(trace []float64) error {
+	o := d.observer
+	if o == nil || o.Drift == nil {
+		return nil
+	}
+	if d.group.pipe == nil {
+		return ErrNotTrained
+	}
+	if err := power.ValidateTrace(trace, d.group.pipe.TraceLen()); err != nil {
+		return fmt.Errorf("core: rejecting trace: %w", err)
+	}
+	dv, err := d.group.pipe.DriftVector(trace)
+	if err != nil {
+		return err
+	}
+	o.Drift.Observe(dv)
+	return nil
+}
+
+// ClassifyScored decodes a single power trace with per-level confidence,
+// feeding the installed observer inline — the streaming path. The label is
+// identical to Classify's on the same trace.
+func (d *Disassembler) ClassifyScored(trace []float64) (Decision, error) {
+	dec, dv, err := d.classifyScored(trace)
+	if err != nil {
+		return Decision{}, err
+	}
+	d.feedObserver(dec, dv)
+	return dec, nil
+}
+
+// decisionCorrect reports whether a decode matches the golden instruction
+// by CompareFlow's rules: canonical class equality, plus register equality
+// where the class carries registers and the disassembler recovered them.
+func decisionCorrect(want avr.Instruction, got Decoded) bool {
+	w := avr.Canonical(want)
+	g := avr.Canonical(avr.Instruction{Class: got.Class, Rd: got.Rd, Rr: got.Rr})
+	if g.Class != w.Class {
+		return false
+	}
+	rd, rr, hasRd, hasRr := registerContext(w.Class, w)
+	if hasRd && got.HasRd && got.Rd != rd {
+		return false
+	}
+	if hasRr && got.HasRr && got.Rr != rr {
+		return false
+	}
+	return true
+}

@@ -17,8 +17,14 @@ import (
 // templates built once can be shipped with a monitoring appliance and
 // reloaded instantly.
 
-// templateFormatVersion guards against loading incompatible files.
-const templateFormatVersion = 1
+// templateFormatVersion guards against loading incompatible files. Version 2
+// added the per-pipeline drift baseline (features.FeatureBaseline) for
+// covariate-shift monitoring; version-1 files still load — gob leaves the
+// absent Baseline nil — but drift monitoring is unavailable for them.
+const templateFormatVersion = 2
+
+// minTemplateFormatVersion is the oldest format Load still accepts.
+const minTemplateFormatVersion = 1
 
 // ErrTemplateFormat is wrapped into every Load failure caused by the
 // template file itself — truncated or corrupted gob data, an unknown format
@@ -113,12 +119,12 @@ func Load(r io.Reader) (*Disassembler, error) {
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("%w: decoding gob stream (truncated or corrupted?): %w", ErrTemplateFormat, err)
 	}
-	if st.Version != templateFormatVersion {
-		if st.Version > templateFormatVersion {
-			return nil, fmt.Errorf("%w: format version %d is newer than this build supports (%d) — upgrade the tool",
-				ErrTemplateFormat, st.Version, templateFormatVersion)
-		}
-		return nil, fmt.Errorf("%w: format version %d, want %d", ErrTemplateFormat, st.Version, templateFormatVersion)
+	if st.Version > templateFormatVersion {
+		return nil, fmt.Errorf("%w: format version %d is newer than this build supports (%d) — upgrade the tool",
+			ErrTemplateFormat, st.Version, templateFormatVersion)
+	}
+	if st.Version < minTemplateFormatVersion {
+		return nil, fmt.Errorf("%w: format version %d, want %d–%d", ErrTemplateFormat, st.Version, minTemplateFormatVersion, templateFormatVersion)
 	}
 	d := &Disassembler{haveRegs: st.HaveRegs}
 	var err error

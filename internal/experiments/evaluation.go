@@ -665,6 +665,14 @@ type MalwareResult struct {
 // Malware trains a subset disassembler and checks the masked-AES snippet
 // against its register-swapped malicious variant.
 func Malware(sc Scale) (*MalwareResult, error) {
+	return MalwareObserved(sc, nil)
+}
+
+// MalwareObserved is Malware with a post-training hook: onTrained (may be
+// nil) runs once the subset disassembler exists, letting a CLI install an
+// InferenceObserver — the trained drift baseline is only reachable from the
+// Disassembler itself, which this experiment otherwise keeps internal.
+func MalwareObserved(sc Scale, onTrained func(*core.Disassembler) error) (*MalwareResult, error) {
 	cfg := core.DefaultTrainerConfig()
 	cfg.Programs = sc.Programs
 	cfg.TracesPerProgram = sc.TracesPerProgram
@@ -674,6 +682,11 @@ func Malware(sc Scale) (*MalwareResult, error) {
 	d, err := core.TrainSubset(cfg, []avr.Class{avr.OpEOR, avr.OpMOV}, true)
 	if err != nil {
 		return nil, err
+	}
+	if onTrained != nil {
+		if err := onTrained(d); err != nil {
+			return nil, err
+		}
 	}
 	golden, err := avr.AssembleProgram("MOV r18, r17\nEOR r16, r17")
 	if err != nil {
@@ -690,15 +703,40 @@ func Malware(sc Scale) (*MalwareResult, error) {
 	rng := rand.New(rand.NewSource(int64(sc.Seed) + 7))
 	prog := power.NewProgramEnv(cfg.Power, sc.Seed+77, 3)
 	detect := func(stream []avr.Instruction) ([]core.FlowMismatch, string, error) {
+		sink := d.Observer()
 		var runs [][]core.Decoded
 		for run := 0; run < 9; run++ {
 			traces, err := camp.AcquireSegments(rng, prog, stream)
 			if err != nil {
 				return nil, "", err
 			}
-			decs, err := d.Disassemble(traces)
-			if err != nil {
-				return nil, "", err
+			var decs []core.Decoded
+			if sink != nil && sink.Calibration != nil {
+				// The simulation knows the executed stream, so every run's
+				// decisions can be labeled against true ground truth — not
+				// just the golden flow, which deliberately differs from the
+				// malicious stream.
+				scored, err := d.DisassembleScored(traces)
+				if err != nil {
+					return nil, "", err
+				}
+				decs = make([]core.Decoded, len(scored))
+				for i, sd := range scored {
+					decs[i] = sd.Decoded
+				}
+				wrong := make([]bool, len(decs))
+				for _, m := range core.CompareFlow(stream, decs) {
+					if m.Index >= 0 && m.Index < len(wrong) {
+						wrong[m.Index] = true
+					}
+				}
+				for i, sd := range scored {
+					sink.Calibration.Observe(sd.Confidence, !wrong[i])
+				}
+			} else {
+				if decs, err = d.Disassemble(traces); err != nil {
+					return nil, "", err
+				}
 			}
 			runs = append(runs, decs)
 		}

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func TestTable2MatchesPaper(t *testing.T) {
@@ -113,7 +117,15 @@ func TestMalwareTiny(t *testing.T) {
 	sc := TinyScale()
 	sc.Programs = 4
 	sc.TracesPerProgram = 20
-	r, err := Malware(sc)
+	// Run with a calibration sink installed, as `scdis detect` does: the
+	// detection outcome must be unchanged (the scored path decodes
+	// identically) and every run's decisions must be labeled against the
+	// executed stream.
+	cal := obs.NewReliability()
+	r, err := MalwareObserved(sc, func(d *core.Disassembler) error {
+		d.SetObserver(&core.InferenceObserver{Calibration: cal})
+		return nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +134,17 @@ func TestMalwareTiny(t *testing.T) {
 	}
 	if r.CleanAlarm {
 		t.Fatalf("clean stream raised a register alarm:\n%s", r)
+	}
+	// 2 instructions × 9 runs × 2 streams.
+	if want := int64(2 * 9 * 2); cal.Labeled() != want {
+		t.Fatalf("calibration labeled %d decisions, want %d", cal.Labeled(), want)
+	}
+	snap := cal.Snapshot()
+	if math.IsNaN(snap.ECE) || snap.ECE < 0 || snap.ECE > 1 {
+		t.Fatalf("ECE %g out of range", snap.ECE)
+	}
+	if !(snap.MeanConfidence > 0 && snap.MeanConfidence <= 1) {
+		t.Fatalf("mean confidence %g", snap.MeanConfidence)
 	}
 }
 

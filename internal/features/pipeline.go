@@ -105,6 +105,7 @@ type Pipeline struct {
 	pairIdx  [][]int // per pair: indices of its points within Points
 	z        *stats.ZScoreNormalizer
 	pca      *PCA
+	baseline *FeatureBaseline
 	nClasses int
 	// MaskSkipped counts time–frequency points dropped from the not-varying
 	// masks because their within-class divergence was non-finite (see
@@ -164,6 +165,10 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 		classStats[c] = NewPointStats(sel.numPoints())
 		perProgram[c] = map[int]*PointStats{}
 	}
+	// Drift-baseline accumulator: per-trace time-domain mean/std, measured
+	// before any normalization — it feeds the covariate-shift baseline
+	// stored with the fitted pipeline.
+	traceMoments := NewPointStats(len(driftFeatureNames))
 	pl := &Pipeline{cfg: cfg, sel: sel, nClasses: nClasses}
 	n := len(traces)
 	useCache := n*sel.numPoints()*8 <= MaxScalogramCacheBytes
@@ -187,6 +192,15 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 		if err != nil {
 			statsSpan.End()
 			return nil, err
+		}
+		// Accumulate the drift baseline from the un-normalized traces — the
+		// monitor must see the moments CSA would cancel.
+		for k := lo; k < hi; k++ {
+			m, sd := stats.TraceNormParams(traces[k])
+			if err := traceMoments.Add([]float64{m, sd}); err != nil {
+				statsSpan.End()
+				return nil, err
+			}
 		}
 		if cfg.PerTraceNorm {
 			parallel.For(len(sub), func(k int) {
@@ -280,6 +294,7 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 		pairIdx[i] = idx
 	}
 	pl.Points, pl.Pairs, pl.pairIdx = points, pairs, pairIdx
+	pl.baseline = buildBaseline(traceMoments)
 
 	// Pass 2: extract training features and fit normalizer + PCA. Cached
 	// scalograms are already normalized, so this pass is pure indexing;

@@ -17,6 +17,9 @@ type PipelineState struct {
 	Z        *stats.ZScoreNormalizer // nil when standardization is off
 	PCA      *PCA
 	NClasses int
+	// Baseline is the training-time drift reference; nil in states restored
+	// from templates predating drift support (format version 1).
+	Baseline *FeatureBaseline
 }
 
 // State snapshots a fitted pipeline.
@@ -33,6 +36,7 @@ func (pl *Pipeline) State() (*PipelineState, error) {
 		Z:        pl.z,
 		PCA:      pl.pca,
 		NClasses: pl.nClasses,
+		Baseline: pl.baseline,
 	}, nil
 }
 
@@ -56,6 +60,7 @@ func PipelineFromState(st *PipelineState) (*Pipeline, error) {
 		pairIdx:  st.PairIdx,
 		z:        st.Z,
 		pca:      st.PCA,
+		baseline: st.Baseline,
 		nClasses: st.NClasses,
 	}, nil
 }

@@ -91,3 +91,13 @@ func (g *GaussianNB) Predict(x []float64) (int, error) {
 	}
 	return argmax(s), nil
 }
+
+// PredictScored implements ScoredClassifier (softmax of the log posteriors).
+func (g *GaussianNB) PredictScored(x []float64) (ScoredPrediction, error) {
+	nbMet.predicts.Inc()
+	s, err := g.LogPosteriors(x)
+	if err != nil {
+		return ScoredPrediction{}, err
+	}
+	return scoredFromLogScores(s), nil
+}

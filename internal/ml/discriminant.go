@@ -103,6 +103,18 @@ func (l *LDA) Predict(x []float64) (int, error) {
 	return argmax(s), nil
 }
 
+// PredictScored implements ScoredClassifier. The linear discriminant values
+// are class log posteriors up to a shared constant, so their softmax is the
+// posterior distribution.
+func (l *LDA) PredictScored(x []float64) (ScoredPrediction, error) {
+	ldaMet.predicts.Inc()
+	s, err := l.Scores(x)
+	if err != nil {
+		return ScoredPrediction{}, err
+	}
+	return scoredFromLogScores(s), nil
+}
+
 // QDA is quadratic discriminant analysis: Gaussian classes with their own
 // covariance matrices. This is the classifier that achieves the paper's
 // headline 99.03 % instruction+register recognition.
@@ -186,6 +198,17 @@ func (q *QDA) Predict(x []float64) (int, error) {
 		return 0, err
 	}
 	return argmax(s), nil
+}
+
+// PredictScored implements ScoredClassifier (softmax of the quadratic
+// discriminant values — the class posteriors).
+func (q *QDA) PredictScored(x []float64) (ScoredPrediction, error) {
+	qdaMet.predicts.Inc()
+	s, err := q.Scores(x)
+	if err != nil {
+		return ScoredPrediction{}, err
+	}
+	return scoredFromLogScores(s), nil
 }
 
 func argmax(s []float64) int {

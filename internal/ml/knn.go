@@ -43,14 +43,14 @@ func (k *KNN) Fit(X [][]float64, y []int) error {
 	return nil
 }
 
-// Predict implements Classifier.
-func (k *KNN) Predict(x []float64) (int, error) {
-	knnMet.predicts.Inc()
+// classVotes returns the per-class vote counts among the K nearest training
+// samples of x.
+func (k *KNN) classVotes(x []float64) ([]float64, error) {
 	if k.X == nil {
-		return 0, errors.New("ml: kNN used before Fit")
+		return nil, errors.New("ml: kNN used before Fit")
 	}
 	if len(x) != k.p {
-		return 0, errDim(len(x), k.p)
+		return nil, errDim(len(x), k.p)
 	}
 	type nb struct {
 		d float64
@@ -66,15 +66,30 @@ func (k *KNN) Predict(x []float64) (int, error) {
 		nbs[i] = nb{d: d, y: k.y[i]}
 	}
 	sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
-	votes := make([]int, k.nc)
+	votes := make([]float64, k.nc)
 	for i := 0; i < k.K; i++ {
 		votes[nbs[i].y]++
 	}
-	best, bi := -1, 0
-	for c, v := range votes {
-		if v > best {
-			best, bi = v, c
-		}
+	return votes, nil
+}
+
+// Predict implements Classifier.
+func (k *KNN) Predict(x []float64) (int, error) {
+	knnMet.predicts.Inc()
+	votes, err := k.classVotes(x)
+	if err != nil {
+		return 0, err
 	}
-	return bi, nil
+	return argmax(votes), nil
+}
+
+// PredictScored implements ScoredClassifier: the confidence is the neighbor
+// vote fraction (votes for the winning class over k).
+func (k *KNN) PredictScored(x []float64) (ScoredPrediction, error) {
+	knnMet.predicts.Inc()
+	votes, err := k.classVotes(x)
+	if err != nil {
+		return ScoredPrediction{}, err
+	}
+	return scoredFromWeights(votes), nil
 }

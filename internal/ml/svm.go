@@ -237,17 +237,17 @@ func (s *SVM) Fit(X [][]float64, y []int) error {
 	return nil
 }
 
-// Predict implements Classifier.
-func (s *SVM) Predict(x []float64) (int, error) {
-	svmMet.predicts.Inc()
+// voteTally accumulates the one-vs-one votes and per-class total margins
+// for x across all pair machines.
+func (s *SVM) voteTally(x []float64) (votes []int, margin []float64, err error) {
 	if len(s.machines) == 0 {
-		return 0, errors.New("ml: SVM used before Fit")
+		return nil, nil, errors.New("ml: SVM used before Fit")
 	}
 	if len(x) != s.p {
-		return 0, errDim(len(x), s.p)
+		return nil, nil, errDim(len(x), s.p)
 	}
-	votes := make([]int, s.nc)
-	margin := make([]float64, s.nc)
+	votes = make([]int, s.nc)
+	margin = make([]float64, s.nc)
 	for i, m := range s.machines {
 		d := m.decision(x)
 		a, b := s.pairs[i][0], s.pairs[i][1]
@@ -259,6 +259,16 @@ func (s *SVM) Predict(x []float64) (int, error) {
 			margin[b] -= d
 		}
 	}
+	return votes, margin, nil
+}
+
+// Predict implements Classifier.
+func (s *SVM) Predict(x []float64) (int, error) {
+	svmMet.predicts.Inc()
+	votes, margin, err := s.voteTally(x)
+	if err != nil {
+		return 0, err
+	}
 	best := 0
 	for c := 1; c < s.nc; c++ {
 		if votes[c] > votes[best] || (votes[c] == votes[best] && margin[c] > margin[best]) {
@@ -266,6 +276,24 @@ func (s *SVM) Predict(x []float64) (int, error) {
 		}
 	}
 	return best, nil
+}
+
+// PredictScored implements ScoredClassifier. The per-class weight is the vote
+// count plus the squashed total margin: because the margin component lies in
+// (0, 1) it never outvotes a whole vote, so the weight ordering reproduces
+// Predict's votes-then-margin tie-break exactly while still exposing how
+// decisively the winner won.
+func (s *SVM) PredictScored(x []float64) (ScoredPrediction, error) {
+	svmMet.predicts.Inc()
+	votes, margin, err := s.voteTally(x)
+	if err != nil {
+		return ScoredPrediction{}, err
+	}
+	w := make([]float64, s.nc)
+	for c := range w {
+		w[c] = float64(votes[c]) + squashMargin(margin[c])
+	}
+	return scoredFromWeights(w), nil
 }
 
 // NumSupportVectors returns the total SV count across pair machines.

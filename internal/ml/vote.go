@@ -50,20 +50,19 @@ func (v *PairwiseVoter) SetPairClassifier(i int, clf Classifier) error {
 	return nil
 }
 
-// Vote classifies from per-pair feature vectors: pairFeatures[i] is the
-// feature vector for pair slot i. Ties are broken toward the lowest label.
-func (v *PairwiseVoter) Vote(pairFeatures [][]float64) (int, error) {
+// voteTally runs every pair classifier and returns the per-class vote counts.
+func (v *PairwiseVoter) voteTally(pairFeatures [][]float64) ([]float64, error) {
 	if len(pairFeatures) != len(v.pairs) {
-		return 0, fmt.Errorf("ml: voter got %d pair vectors, want %d", len(pairFeatures), len(v.pairs))
+		return nil, fmt.Errorf("ml: voter got %d pair vectors, want %d", len(pairFeatures), len(v.pairs))
 	}
-	votes := make([]int, v.nClasses)
+	votes := make([]float64, v.nClasses)
 	for i, clf := range v.classifiers {
 		if clf == nil {
-			return 0, errors.New("ml: voter has untrained pair slots")
+			return nil, errors.New("ml: voter has untrained pair slots")
 		}
 		p, err := clf.Predict(pairFeatures[i])
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		switch p {
 		case 0:
@@ -71,14 +70,28 @@ func (v *PairwiseVoter) Vote(pairFeatures [][]float64) (int, error) {
 		case 1:
 			votes[v.pairs[i][1]]++
 		default:
-			return 0, fmt.Errorf("ml: pair classifier %d returned non-binary label %d", i, p)
+			return nil, fmt.Errorf("ml: pair classifier %d returned non-binary label %d", i, p)
 		}
 	}
-	best := 0
-	for c := 1; c < v.nClasses; c++ {
-		if votes[c] > votes[best] {
-			best = c
-		}
+	return votes, nil
+}
+
+// Vote classifies from per-pair feature vectors: pairFeatures[i] is the
+// feature vector for pair slot i. Ties are broken toward the lowest label.
+func (v *PairwiseVoter) Vote(pairFeatures [][]float64) (int, error) {
+	votes, err := v.voteTally(pairFeatures)
+	if err != nil {
+		return 0, err
 	}
-	return best, nil
+	return argmax(votes), nil
+}
+
+// VoteScored is Vote annotated with the vote-tally confidence: the winning
+// class's share of the K(K−1)/2 pairwise votes.
+func (v *PairwiseVoter) VoteScored(pairFeatures [][]float64) (ScoredPrediction, error) {
+	votes, err := v.voteTally(pairFeatures)
+	if err != nil {
+		return ScoredPrediction{}, err
+	}
+	return scoredFromWeights(votes), nil
 }

@@ -18,6 +18,12 @@ type Options struct {
 	ManifestOut string // -manifest-out: end-of-run RunManifest JSON path ("-" = stdout)
 	LogFormat   string // -log-format: text | json
 	PprofAddr   string // -pprof: net/http/pprof listen address
+
+	DecisionLog    string  // -decision-log: JSONL decision record path ("-" = stdout)
+	DecisionSample int     // -decision-sample: log 1 in N decisions
+	DriftWindow    int     // -drift-window: sliding window size in traces
+	DriftWarn      float64 // -drift-warn: symmetric-KL warn threshold
+	DriftCritical  float64 // -drift-critical: symmetric-KL critical threshold
 }
 
 // Register declares the observability flags on fs.
@@ -27,6 +33,16 @@ func (o *Options) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.ManifestOut, "manifest-out", "", "write the end-of-run manifest JSON (config, report, metrics, trace) to this file (\"-\" = stdout)")
 	fs.StringVar(&o.LogFormat, "log-format", "text", "log output format: text or json")
 	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof, /metrics and /metrics.json on this address (e.g. localhost:6060)")
+	fs.StringVar(&o.DecisionLog, "decision-log", "", "write sampled per-classification decision records as JSONL to this file (\"-\" = stdout)")
+	fs.IntVar(&o.DecisionSample, "decision-sample", 1, "log 1 in N decisions to -decision-log")
+	fs.IntVar(&o.DriftWindow, "drift-window", DefaultDriftWindow, "covariate-shift monitor: sliding window size in traces")
+	fs.Float64Var(&o.DriftWarn, "drift-warn", DefaultDriftWarn, "covariate-shift monitor: symmetric-KL warn threshold")
+	fs.Float64Var(&o.DriftCritical, "drift-critical", DefaultDriftCritical, "covariate-shift monitor: symmetric-KL critical threshold")
+}
+
+// DriftConfig returns the drift-monitor configuration the flags selected.
+func (o Options) DriftConfig() DriftConfig {
+	return DriftConfig{Window: o.DriftWindow, Warn: o.DriftWarn, Critical: o.DriftCritical}.withDefaults()
 }
 
 // Session is the live observability state of one CLI run: the installed
@@ -35,6 +51,16 @@ func (o *Options) Register(fs *flag.FlagSet) {
 type Session struct {
 	Registry *Registry
 	Tracer   *Tracer
+	// Decisions is the sampled JSONL decision sink, nil unless -decision-log
+	// was given. Nil is a valid no-op sink.
+	Decisions *DecisionLog
+	// Calibration tracks confidence-vs-accuracy; always live (the
+	// instruments are cheap) so ECE appears whenever ground truth flows.
+	Calibration *Reliability
+	// Drift is set by the caller once a template (and thus a baseline) is
+	// available; Close then renders the drift table and manifest note.
+	Drift *DriftMonitor
+
 	opts     Options
 	pprof    *PprofServer
 	start    time.Time
@@ -52,14 +78,22 @@ func (o Options) Start(ctx context.Context) (context.Context, *Session, error) {
 		return ctx, nil, err
 	}
 	s := &Session{
-		Registry: NewRegistry(),
-		Tracer:   NewTracer(),
-		opts:     o,
-		start:    time.Now(),
-		cpuStart: processCPUNanos(),
+		Registry:    NewRegistry(),
+		Tracer:      NewTracer(),
+		Calibration: NewReliability(),
+		opts:        o,
+		start:       time.Now(),
+		cpuStart:    processCPUNanos(),
 	}
 	SetDefault(s.Registry)
 	ctx = WithTracer(ctx, s.Tracer)
+	if o.DecisionLog != "" {
+		dl, err := OpenDecisionLog(o.DecisionLog, o.DecisionSample)
+		if err != nil {
+			return ctx, nil, err
+		}
+		s.Decisions = dl
+	}
 	if o.PprofAddr != "" {
 		srv, err := ServePprof(o.PprofAddr, s.Registry)
 		if err != nil {
@@ -83,6 +117,19 @@ func (s *Session) Manifest(kind string, workers int) *RunManifest {
 	}
 	m.Metrics = s.Registry.Snapshot()
 	m.Trace = s.Tracer.Tree()
+	m.TraceDropped = s.Tracer.Dropped()
+	if s.Drift != nil {
+		if m.Notes == nil {
+			m.Notes = map[string]any{}
+		}
+		m.Notes["drift"] = s.Drift.Snapshot()
+	}
+	if s.Calibration.Total() > 0 {
+		if m.Notes == nil {
+			m.Notes = map[string]any{}
+		}
+		m.Notes["calibration"] = s.Calibration.Snapshot()
+	}
 	return m
 }
 
@@ -99,6 +146,10 @@ func (s *Session) Close(manifest *RunManifest, workers int) error {
 		}
 	}
 	keep(s.Tracer.WriteTable(os.Stderr))
+	if s.Drift != nil {
+		keep(s.Drift.WriteTable(os.Stderr))
+	}
+	keep(s.Decisions.Close())
 	if s.opts.MetricsOut != "" {
 		keep(writeSink(s.opts.MetricsOut, func(f *os.File) error {
 			return s.Registry.WriteJSON(f)

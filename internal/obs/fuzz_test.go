@@ -3,13 +3,28 @@ package obs
 import (
 	"flag"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/testkit"
 )
+
+// optionsEqual compares Options treating NaN float fields as equal to each
+// other — flag.Float64Var accepts "NaN", which would otherwise make the
+// projection check fail on itself.
+func optionsEqual(a, b Options) bool {
+	if math.IsNaN(a.DriftWarn) && math.IsNaN(b.DriftWarn) {
+		a.DriftWarn, b.DriftWarn = 0, 0
+	}
+	if math.IsNaN(a.DriftCritical) && math.IsNaN(b.DriftCritical) {
+		a.DriftCritical, b.DriftCritical = 0, 0
+	}
+	return a == b
+}
 
 // TestFuzzCorpusCommitted regenerates the committed seed corpus under
 // testdata/fuzz when REGEN_FUZZ_CORPUS is set, and otherwise asserts it is
@@ -26,6 +41,8 @@ func TestFuzzCorpusCommitted(t *testing.T) {
 			"-log-format\nbogus")
 		testkit.WriteCorpus(t, "FuzzOptionsFlagParsing", "equals_form",
 			"--metrics-out=out.json")
+		testkit.WriteCorpus(t, "FuzzOptionsFlagParsing", "drift",
+			"-decision-log\nd.jsonl\n-decision-sample\n4\n-drift-warn\n0.5\n-drift-window\n32")
 		return
 	}
 	ents, err := os.ReadDir(filepath.Join("testdata", "fuzz", "FuzzOptionsFlagParsing"))
@@ -48,6 +65,7 @@ func FuzzOptionsFlagParsing(f *testing.F) {
 	f.Add("--metrics-out=out.json")
 	f.Add("")
 	f.Add("-metrics-out")
+	f.Add("-decision-log\nd.jsonl\n-decision-sample\n4\n-drift-warn\n0.5\n-drift-window\n32")
 	f.Fuzz(func(t *testing.T, argBlob string) {
 		var args []string
 		for _, a := range strings.Split(argBlob, "\n") {
@@ -72,6 +90,11 @@ func FuzzOptionsFlagParsing(f *testing.F) {
 			"-manifest-out", o.ManifestOut,
 			"-log-format", o.LogFormat,
 			"-pprof", o.PprofAddr,
+			"-decision-log", o.DecisionLog,
+			"-decision-sample", strconv.Itoa(o.DecisionSample),
+			"-drift-window", strconv.Itoa(o.DriftWindow),
+			"-drift-warn", strconv.FormatFloat(o.DriftWarn, 'g', -1, 64),
+			"-drift-critical", strconv.FormatFloat(o.DriftCritical, 'g', -1, 64),
 		}
 		var o2 Options
 		fs2 := flag.NewFlagSet("fuzz2", flag.ContinueOnError)
@@ -80,7 +103,7 @@ func FuzzOptionsFlagParsing(f *testing.F) {
 		if err := fs2.Parse(canonical); err != nil {
 			t.Fatalf("re-rendered flags failed to parse: %v (from %q)", err, args)
 		}
-		if o2 != o {
+		if !optionsEqual(o, o2) {
 			t.Fatalf("flag parse not a projection: %+v -> %+v (args %q)", o, o2, args)
 		}
 

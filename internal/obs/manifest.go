@@ -72,6 +72,7 @@ type RunManifest struct {
 	Report        any            `json:"report,omitempty"`
 	Metrics       *Snapshot      `json:"metrics,omitempty"`
 	Trace         []*SpanNode    `json:"trace,omitempty"`
+	TraceDropped  int64          `json:"trace_dropped,omitempty"`
 	Notes         map[string]any `json:"notes,omitempty"`
 }
 

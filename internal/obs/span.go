@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -82,6 +83,25 @@ type SpanHandle struct {
 	busy    atomic.Int64 // ns of parallel-body work attributed to this span
 	workers atomic.Int64 // max worker count observed by loops under this span
 	ended   atomic.Bool
+
+	attrMu sync.Mutex
+	attrs  map[string]float64
+}
+
+// SetAttr attaches a named numeric attribute to the span (drift score,
+// decisions recorded, mean confidence...), rendered in the span tree and
+// manifest. Non-finite values are dropped so the trace JSON stays valid.
+// No-op on a nil receiver.
+func (s *SpanHandle) SetAttr(name string, v float64) {
+	if s == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	s.attrMu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]float64{}
+	}
+	s.attrs[name] = v
+	s.attrMu.Unlock()
 }
 
 // Span starts a named span under ctx's tracer (nesting under ctx's current
@@ -127,6 +147,7 @@ func (s *SpanHandle) End() {
 		t.spans = append(t.spans, s)
 	} else {
 		t.dropped.Add(1)
+		obsMet.spansDropped.Inc()
 	}
 	t.mu.Unlock()
 }
@@ -172,6 +193,7 @@ type SpanNode struct {
 	BusyMS      float64     `json:"busy_ms,omitempty"`
 	Workers     int         `json:"workers,omitempty"`
 	Utilization float64     `json:"utilization,omitempty"`
+	Attrs       map[string]float64 `json:"attrs,omitempty"`
 	Children    []*SpanNode `json:"children,omitempty"`
 }
 
@@ -204,6 +226,14 @@ func (t *Tracer) Tree() []*SpanNode {
 				n.Utilization = 1
 			}
 		}
+		s.attrMu.Lock()
+		if len(s.attrs) > 0 {
+			n.Attrs = make(map[string]float64, len(s.attrs))
+			for k, v := range s.attrs {
+				n.Attrs[k] = v
+			}
+		}
+		s.attrMu.Unlock()
 		nodes[s.id] = n
 		order[s.id] = s.start
 	}

@@ -32,12 +32,14 @@ lint: vet
 bench:
 	$(GO) test -run '^$$' -bench Pipeline -benchmem .
 
-# Observability overhead gates: fail when the metrics+tracing path makes
-# FitPipeline more than 3% slower than the nil-registry fast path, or when
-# decision recording (scored path + log + drift monitor) costs more than 3%
-# over plain decoding.
+# Comparison gates: fail when the metrics+tracing path makes FitPipeline
+# more than 3% slower than the nil-registry fast path, when decision
+# recording (scored path + log + drift monitor) costs more than 3% over
+# plain decoding and more than 5us/trace absolute, or when sparse per-cell
+# extraction loses its >=8x edge over the full-FFT path (or grows past its
+# allocation budget).
 bench-compare:
-	BENCH_COMPARE=1 $(GO) test -run 'TestMetricsOverheadBudget|TestDecisionOverheadBudget' -v .
+	BENCH_COMPARE=1 $(GO) test -run 'TestMetricsOverheadBudget|TestDecisionOverheadBudget|TestSparseSpeedupBudget' -v .
 
 # Every native fuzz target, run briefly from its committed seed corpus. Go
 # allows one -fuzz pattern per invocation, so iterate; -run '^$$' skips the

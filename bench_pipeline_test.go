@@ -9,8 +9,10 @@ package sidechannel
 // multi-core machine the *Parallel variants should scale with the cores).
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"testing"
 
 	"repro/internal/core"
@@ -116,6 +118,50 @@ func BenchmarkPipelineExtractFromScalogram(b *testing.B) {
 	}
 }
 
+func BenchmarkPipelineExtractSparse(b *testing.B) {
+	pl, traces := benchPipeline(b)
+	// First call builds the per-cell kernel table (cached for the pipeline's
+	// lifetime); keep that one-time cost out of the measurement.
+	if _, err := pl.ExtractSparse(traces[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.ExtractSparse(traces[i%len(traces)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchClassifyOne measures single-trace end-to-end decode latency — trace in,
+// instruction out, the paper's real-time monitoring unit of work — through the
+// selected inference path.
+func benchClassifyOne(b *testing.B, mode core.SparseMode) {
+	d, traces := classifyFixture(b)
+	if err := d.SetSparseMode(mode); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := d.SetSparseMode(core.SparseAuto); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	if _, err := d.Classify(traces[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Classify(traces[i%len(traces)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineClassifyOneSparse(b *testing.B) { benchClassifyOne(b, core.SparseOn) }
+func BenchmarkPipelineClassifyOneFull(b *testing.B)   { benchClassifyOne(b, core.SparseOff) }
+
 // benchFit runs a full FitPipeline at the given worker count; the
 // Serial/Parallel pair quantifies the multi-core speedup (identical results
 // by construction — see the equivalence tests).
@@ -183,3 +229,37 @@ func benchDisassemble(b *testing.B, workers int) {
 
 func BenchmarkPipelineDisassembleSerial(b *testing.B)   { benchDisassemble(b, 1) }
 func BenchmarkPipelineDisassembleParallel(b *testing.B) { benchDisassemble(b, 0) }
+
+// TestSparseSpeedupBudget is the sparse-inference bench-compare gate: with
+// BENCH_COMPARE=1 it requires ExtractSparse to run at most 1/8 the time of
+// the full-FFT Extract on the same fitted pipeline (measured ~400x on the
+// recording machine — the 8x floor leaves room for noisy CI hardware), and
+// bounds its allocations so the dot-product path cannot silently grow a
+// per-call buffer habit. Env-gated like the other timing gates: a timing
+// assertion on a loaded machine is a flake, not a signal.
+func TestSparseSpeedupBudget(t *testing.T) {
+	if os.Getenv("BENCH_COMPARE") == "" {
+		t.Skip("set BENCH_COMPARE=1 (or run `make bench-compare`) to enable the sparse speedup gate")
+	}
+	const rounds = 3
+	full, sparse := 0.0, 0.0
+	var allocs int64
+	for i := 0; i < rounds; i++ {
+		if v := minNsPerOp(1, BenchmarkPipelineExtract); full == 0 || v < full {
+			full = v
+		}
+		r := testing.Benchmark(BenchmarkPipelineExtractSparse)
+		if v := float64(r.NsPerOp()); sparse == 0 || v < sparse {
+			sparse = v
+		}
+		allocs = r.AllocsPerOp()
+	}
+	fmt.Printf("bench-compare: extract full %.0f ns/op, sparse %.0f ns/op (%.0fx), %d allocs/op\n",
+		full, sparse, full/sparse, allocs)
+	if sparse > full/8 {
+		t.Fatalf("sparse extract %.0f ns/op is slower than 1/8 of the full path (%.0f ns/op)", sparse, full)
+	}
+	if allocs > 8 {
+		t.Fatalf("sparse extract costs %d allocs/op, budget is 8", allocs)
+	}
+}

@@ -13,7 +13,9 @@
 //	                                 the drift monitor's verdict per phase
 //
 // Flags for demo/detect/drift: -programs, -traces, -seed scale the simulated
-// profiling campaign; -workers N bounds the worker pool (0 = all CPUs).
+// profiling campaign; -workers N bounds the worker pool (0 = all CPUs);
+// -sparse auto|on|off picks the inference path (per-cell sparse CWT vs the
+// full FFT scalogram — auto uses sparse whenever the templates allow it).
 // Observability: -metrics-out/-trace-out/-manifest-out write end-of-run JSON
 // artifacts, -log-format selects text or json logs, -pprof ADDR serves
 // net/http/pprof plus /metrics, and a stage-timing table always lands on
@@ -125,14 +127,23 @@ func runDecode(args []string) error {
 	return nil
 }
 
-func campaignFlags(fs *flag.FlagSet) (*int, *int, *uint64, *int, *obs.Options) {
+func campaignFlags(fs *flag.FlagSet) (*int, *int, *uint64, *int, *string, *obs.Options) {
 	programs := fs.Int("programs", 4, "profiling program files per class")
 	traces := fs.Int("traces", 20, "traces per program file")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	workers := fs.Int("workers", 0, "worker goroutines for training/disassembly (0 = all CPUs)")
+	sparse := fs.String("sparse", "auto", "inference path: auto (sparse when templates allow), on, off")
 	obsOpts := &obs.Options{}
 	obsOpts.Register(fs)
-	return programs, traces, seed, workers, obsOpts
+	return programs, traces, seed, workers, sparse, obsOpts
+}
+
+// parseSparse validates the -sparse flag up front, before any training
+// work; the parsed mode is installed on the trained disassembler with
+// SetSparseMode, where -sparse=on fails for templates that cannot support
+// the per-cell path (legacy scalogram-plane normalization).
+func parseSparse(mode string) (core.SparseMode, error) {
+	return core.ParseSparseMode(mode)
 }
 
 // installObserver wires the session's inference-quality sinks into a trained
@@ -169,13 +180,17 @@ func applyWorkers(workers int) error {
 
 func runDemo(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
-	programs, traces, seed, workers, obsOpts := campaignFlags(fs)
+	programs, traces, seed, workers, sparse, obsOpts := campaignFlags(fs)
 	saveTo := fs.String("save", "", "write the trained templates to this file")
 	loadFrom := fs.String("templates", "", "load templates from this file instead of training")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := applyWorkers(*workers); err != nil {
+		return err
+	}
+	sparseMode, err := parseSparse(*sparse)
+	if err != nil {
 		return err
 	}
 	ctx, sess, err := obsOpts.Start(ctx)
@@ -224,6 +239,9 @@ func runDemo(ctx context.Context, args []string) error {
 			fmt.Printf("templates saved to %s\n", *saveTo)
 		}
 	}
+	if err := d.SetSparseMode(sparseMode); err != nil {
+		return err
+	}
 	if err := installObserver(d, sess, obsOpts); err != nil {
 		return err
 	}
@@ -270,11 +288,15 @@ func runDemo(ctx context.Context, args []string) error {
 
 func runDetect(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
-	programs, traces, seed, workers, obsOpts := campaignFlags(fs)
+	programs, traces, seed, workers, sparse, obsOpts := campaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := applyWorkers(*workers); err != nil {
+		return err
+	}
+	sparseMode, err := parseSparse(*sparse)
+	if err != nil {
 		return err
 	}
 	if err := ctx.Err(); err != nil {
@@ -289,6 +311,9 @@ func runDetect(ctx context.Context, args []string) error {
 	sc.TracesPerProgram = *traces
 	sc.Seed = *seed
 	res, err := experiments.MalwareObserved(sc, func(d *core.Disassembler) error {
+		if err := d.SetSparseMode(sparseMode); err != nil {
+			return err
+		}
 		return installObserver(d, sess, obsOpts)
 	})
 	if err != nil {
@@ -309,13 +334,17 @@ func runDetect(ctx context.Context, args []string) error {
 // machine-greppable "DRIFT <phase> state=..." line for CI smoke checks.
 func runDrift(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("drift", flag.ExitOnError)
-	programs, traces, seed, workers, obsOpts := campaignFlags(fs)
+	programs, traces, seed, workers, sparse, obsOpts := campaignFlags(fs)
 	offset := fs.Float64("offset", 0.5, "DC offset added to every shifted-phase sample")
 	gain := fs.Float64("gain", 1.2, "gain multiplying every shifted-phase sample")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := applyWorkers(*workers); err != nil {
+		return err
+	}
+	sparseMode, err := parseSparse(*sparse)
+	if err != nil {
 		return err
 	}
 	ctx, sess, err := obsOpts.Start(ctx)
@@ -332,6 +361,9 @@ func runDrift(ctx context.Context, args []string) error {
 		len(classes), cfg.Programs, cfg.TracesPerProgram)
 	d, rep, err := core.TrainSubsetReportCtx(ctx, cfg, classes, false)
 	if err != nil {
+		return err
+	}
+	if err := d.SetSparseMode(sparseMode); err != nil {
 		return err
 	}
 	if err := installObserver(d, sess, obsOpts); err != nil {

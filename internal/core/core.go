@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
@@ -31,6 +32,8 @@ import (
 var met struct {
 	classified      *obs.Counter   // core.traces.classified — Classify calls that succeeded
 	rejected        *obs.Counter   // core.traces.rejected — Classify calls that failed
+	sparseTraces    *obs.Counter   // core.traces.sparse — classifications served by the sparse path
+	groupRemapped   *obs.Counter   // core.group.remapped — group decisions redirected onto a trained group
 	confidence      *obs.Histogram // core.decision.confidence — overall decision confidences
 	decisionLogErrs *obs.Counter   // core.decision_log.errors — failed JSONL writes
 }
@@ -39,9 +42,54 @@ func init() {
 	obs.OnDefault(func(r *obs.Registry) {
 		met.classified = r.Counter("core.traces.classified")
 		met.rejected = r.Counter("core.traces.rejected")
+		met.sparseTraces = r.Counter("core.traces.sparse")
+		met.groupRemapped = r.Counter("core.group.remapped")
 		met.confidence = r.HistogramWith("core.decision.confidence", obs.UnitBuckets())
 		met.decisionLogErrs = r.Counter("core.decision_log.errors")
 	})
+}
+
+// SparseMode selects whether classification runs through the sparse per-cell
+// CWT (dsp.SparseCWT over each level's selected points) or the full FFT
+// scalogram.
+type SparseMode int
+
+const (
+	// SparseAuto (the default) uses the sparse path whenever every trained
+	// level's template is sparse-capable, and falls back to the full path
+	// otherwise (e.g. templates saved by builds predating NormTrace).
+	SparseAuto SparseMode = iota
+	// SparseOn requires the sparse path; SetSparseMode fails for templates
+	// that cannot support it.
+	SparseOn
+	// SparseOff forces the full-FFT path (the escape hatch).
+	SparseOff
+)
+
+// String renders the mode in its flag syntax (auto|on|off).
+func (m SparseMode) String() string {
+	switch m {
+	case SparseOn:
+		return "on"
+	case SparseOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// ParseSparseMode parses the -sparse flag syntax: auto, on or off.
+func ParseSparseMode(s string) (SparseMode, error) {
+	switch s {
+	case "auto", "":
+		return SparseAuto, nil
+	case "on":
+		return SparseOn, nil
+	case "off":
+		return SparseOff, nil
+	default:
+		return SparseAuto, fmt.Errorf("core: invalid sparse mode %q (want auto, on or off)", s)
+	}
 }
 
 // ClassifierKind selects the classification algorithm at every level.
@@ -165,16 +213,74 @@ type Disassembler struct {
 	rr         groupLevel
 	haveRegs   bool
 	observer   *InferenceObserver // inference-quality sinks; nil = disabled
+	sparseMode SparseMode         // see SetSparseMode; zero value is SparseAuto
+}
+
+// SparseCapable reports whether every trained level's template supports the
+// sparse per-cell path (see features.Pipeline.SparseCapable). Templates
+// fitted with scalogram-plane normalization (format v2 and earlier CSA
+// templates) are not capable and always use the full path.
+func (d *Disassembler) SparseCapable() bool {
+	if d.group.pipe == nil || !d.group.pipe.SparseCapable() {
+		return false
+	}
+	for i := range d.instr {
+		if d.instr[i].pipe != nil && !d.instr[i].pipe.SparseCapable() {
+			return false
+		}
+	}
+	if d.haveRegs {
+		if d.rd.pipe != nil && !d.rd.pipe.SparseCapable() {
+			return false
+		}
+		if d.rr.pipe != nil && !d.rr.pipe.SparseCapable() {
+			return false
+		}
+	}
+	return true
+}
+
+// SetSparseMode picks the inference path. SparseOn fails with
+// features.ErrSparseIncapable when the templates cannot support the sparse
+// path. Must be called before classification starts — like SetObserver, the
+// field is read without synchronization on the hot path.
+func (d *Disassembler) SetSparseMode(m SparseMode) error {
+	if m == SparseOn && !d.SparseCapable() {
+		return fmt.Errorf("core: -sparse=on: %w", features.ErrSparseIncapable)
+	}
+	d.sparseMode = m
+	return nil
+}
+
+// SparseMode returns the configured mode (not the resolved path; see
+// SparseEnabled).
+func (d *Disassembler) SparseMode() SparseMode { return d.sparseMode }
+
+// SparseEnabled resolves the configured mode against the templates: the
+// answer Classify acts on.
+func (d *Disassembler) SparseEnabled() bool {
+	switch d.sparseMode {
+	case SparseOn:
+		return true
+	case SparseOff:
+		return false
+	default:
+		return d.SparseCapable()
+	}
 }
 
 // ErrNotTrained is returned when a Disassembler lacks a required level.
 var ErrNotTrained = errors.New("core: disassembler not trained")
 
-// Classify decodes a single power trace into an instruction. The trace's
-// CWT scalogram is computed exactly once and shared by every hierarchy level
-// (group, instruction, Rd, Rr) through features.ExtractFromScalogram — the
-// levels differ only in which time–frequency points they read and how they
-// project them.
+// Classify decodes a single power trace into an instruction.
+//
+// On the full path the trace's CWT scalogram is computed exactly once and
+// shared by every hierarchy level (group, instruction, Rd, Rr) through
+// features.ExtractFromScalogram — the levels differ only in which
+// time–frequency points they read and how they project them. On the sparse
+// path (see SetSparseMode) no full scalogram exists at all: each level
+// evaluates just its own selected cells as direct dot products
+// (features.Pipeline.ExtractSparse), an order of magnitude cheaper.
 //
 // The trace is validated first (power.ValidateTrace): a NaN/Inf, constant or
 // wrong-length capture is rejected with a typed error instead of silently
@@ -193,12 +299,20 @@ func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
 		met.rejected.Inc()
 		return Decoded{}, fmt.Errorf("core: rejecting trace: %w", err)
 	}
-	flat, err := d.group.pipe.RawScalogram(trace)
-	if err != nil {
-		met.rejected.Inc()
-		return Decoded{}, fmt.Errorf("core: group features: %w", err)
+	var (
+		dec Decoded
+		err error
+	)
+	if d.SparseEnabled() {
+		dec, err = d.classifySparse(trace)
+	} else {
+		var flat []float64
+		if flat, err = d.group.pipe.RawScalogram(trace); err != nil {
+			met.rejected.Inc()
+			return Decoded{}, fmt.Errorf("core: group features: %w", err)
+		}
+		dec, err = d.classifyScalogram(flat)
 	}
-	dec, err := d.classifyScalogram(flat)
 	if err != nil {
 		met.rejected.Inc()
 		return dec, err
@@ -210,7 +324,94 @@ func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
 // classifyScalogram runs the hierarchical classification against a shared
 // raw scalogram (see features.Pipeline.RawScalogram).
 func (d *Disassembler) classifyScalogram(flat []float64) (Decoded, error) {
-	gf, err := d.group.pipe.ExtractFromScalogram(flat)
+	return d.classifyExtract(func(pl *features.Pipeline) ([]float64, error) {
+		return pl.ExtractFromScalogram(flat)
+	})
+}
+
+// classifySparse runs the hierarchical classification through the sparse
+// per-cell path: each level evaluates only its own selected cells of the
+// trace, so no full scalogram is ever materialized.
+func (d *Disassembler) classifySparse(trace []float64) (Decoded, error) {
+	met.sparseTraces.Inc()
+	return d.classifyExtract(func(pl *features.Pipeline) ([]float64, error) {
+		return pl.ExtractSparse(trace)
+	})
+}
+
+// trainedGroup reports whether group label gi carries instruction templates.
+func (d *Disassembler) trainedGroup(gi int) bool {
+	return gi >= 0 && gi < avr.NumGroups && d.instr[gi].pipe != nil && d.instr[gi].clf != nil
+}
+
+// maskedGroupScores returns the group classifier's per-class scores for gf
+// with every group lacking instruction templates masked to -Inf. ok is false
+// when the classifier exposes no raw scores (ml.Scorer) or when no trained
+// group exists at all — the caller then keeps the original decision.
+func (d *Disassembler) maskedGroupScores(gf []float64) ([]float64, bool) {
+	sc, ok := d.group.clf.(ml.Scorer)
+	if !ok {
+		return nil, false
+	}
+	scores, err := sc.Scores(gf)
+	if err != nil {
+		return nil, false
+	}
+	any := false
+	for g := range scores {
+		if d.trainedGroup(g) {
+			any = true
+		} else {
+			scores[g] = math.Inf(-1)
+		}
+	}
+	return scores, any
+}
+
+// remapGroup redirects a group decision that landed on a group without
+// instruction templates onto the best-scoring trained group. A subset
+// disassembler's group classifier is trained on the full 8-way task
+// (TrainSubset), so the occasional trace routes to a group it has no level-2
+// templates for; a monitoring appliance should answer with the most likely
+// group it can actually decode — the downstream majority fusion cancels the
+// misread — rather than fail the trace. When the classifier exposes no
+// scores the label is returned unchanged and the caller's untrained-group
+// error stands.
+func (d *Disassembler) remapGroup(gf []float64, gi int) int {
+	scores, ok := d.maskedGroupScores(gf)
+	if !ok {
+		return gi
+	}
+	best := 0
+	for g := range scores {
+		if scores[g] > scores[best] {
+			best = g
+		}
+	}
+	met.groupRemapped.Inc()
+	return best
+}
+
+// remapGroupScored is remapGroup for the scored path: the same trained-group
+// restriction, with confidence and margin renormalized over the masked
+// scores so the DecisionLevel reflects the restricted decision. No-op for
+// decisions already inside the trained set.
+func (d *Disassembler) remapGroupScored(gf []float64, sp ml.ScoredPrediction) ml.ScoredPrediction {
+	if d.trainedGroup(sp.Label) {
+		return sp
+	}
+	scores, ok := d.maskedGroupScores(gf)
+	if !ok {
+		return sp
+	}
+	met.groupRemapped.Inc()
+	return ml.ScoredFromLogScores(scores)
+}
+
+// classifyExtract walks the hierarchy with the given per-level feature
+// extraction — the shared-scalogram and sparse paths differ only here.
+func (d *Disassembler) classifyExtract(extract func(*features.Pipeline) ([]float64, error)) (Decoded, error) {
+	gf, err := extract(d.group.pipe)
 	if err != nil {
 		return Decoded{}, fmt.Errorf("core: group features: %w", err)
 	}
@@ -221,11 +422,14 @@ func (d *Disassembler) classifyScalogram(flat []float64) (Decoded, error) {
 	if gi < 0 || gi >= avr.NumGroups {
 		return Decoded{}, fmt.Errorf("core: group label %d out of range", gi)
 	}
+	if !d.trainedGroup(gi) {
+		gi = d.remapGroup(gf, gi)
+	}
 	lvl := d.instr[gi]
 	if lvl.pipe == nil || lvl.clf == nil {
 		return Decoded{}, fmt.Errorf("core: no instruction templates for group %d: %w", gi+1, ErrNotTrained)
 	}
-	inf, err := lvl.pipe.ExtractFromScalogram(flat)
+	inf, err := extract(lvl.pipe)
 	if err != nil {
 		return Decoded{}, fmt.Errorf("core: instruction features: %w", err)
 	}
@@ -243,7 +447,7 @@ func (d *Disassembler) classifyScalogram(flat []float64) (Decoded, error) {
 		sp := avr.SpecOf(cls)
 		needRd, needRr := operandRegisters(sp.Operands, cls)
 		if needRd {
-			f, err := d.rd.pipe.ExtractFromScalogram(flat)
+			f, err := extract(d.rd.pipe)
 			if err != nil {
 				return Decoded{}, fmt.Errorf("core: Rd features: %w", err)
 			}
@@ -254,7 +458,7 @@ func (d *Disassembler) classifyScalogram(flat []float64) (Decoded, error) {
 			out.Rd, out.HasRd = uint8(r), true
 		}
 		if needRr {
-			f, err := d.rr.pipe.ExtractFromScalogram(flat)
+			f, err := extract(d.rr.pipe)
 			if err != nil {
 				return Decoded{}, fmt.Errorf("core: Rr features: %w", err)
 			}
@@ -266,6 +470,14 @@ func (d *Disassembler) classifyScalogram(flat []float64) (Decoded, error) {
 		}
 	}
 	return out, nil
+}
+
+// boolAttr renders a boolean as a 0/1 span attribute.
+func boolAttr(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // operandRegisters reports which register operands a class carries.
@@ -315,6 +527,7 @@ func (d *Disassembler) DisassembleCtx(ctx context.Context, traces [][]float64) (
 	ctx, span := obs.Span(ctx, "core.disassemble")
 	defer span.End()
 	span.SetAttr("traces", float64(len(traces)))
+	span.SetAttr("sparse", boolAttr(d.SparseEnabled()))
 	out := make([]Decoded, len(traces))
 	var (
 		mu       sync.Mutex
@@ -358,6 +571,7 @@ func (d *Disassembler) DisassembleScoredCtx(ctx context.Context, traces [][]floa
 	ctx, span := obs.Span(ctx, "core.disassemble")
 	defer span.End()
 	span.SetAttr("traces", float64(len(traces)))
+	span.SetAttr("sparse", boolAttr(d.SparseEnabled()))
 	out := make([]Decision, len(traces))
 	driftVecs := make([][]float64, len(traces))
 	var (

@@ -208,6 +208,39 @@ func TestMajorityDecodeConsensus(t *testing.T) {
 	}
 }
 
+// TestMajorityDecodeTieBreak pins the tie rule: on a split vote the winner
+// is the candidate that appears first in run order, never a map-iteration
+// accident — repeated fusions of the same runs must agree exactly.
+func TestMajorityDecodeTieBreak(t *testing.T) {
+	a := Decoded{Class: avr.OpADD, Group: avr.OpADD.Group()}
+	b := Decoded{Class: avr.OpAND, Group: avr.OpAND.Group()}
+	c := Decoded{Class: avr.OpLDI, Group: avr.OpLDI.Group()}
+
+	// Position 0 ties b-vs-a 2:2 (c splits off), position 1 ties c-vs-b 2:2.
+	runs := [][]Decoded{{b, c}, {a, b}, {b, b}, {a, c}, {c, a}}
+	first, err := MajorityDecode(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0] != b {
+		t.Fatalf("tie at position 0 fused to %+v, want first-seen %+v", first[0], b)
+	}
+	if first[1] != c {
+		t.Fatalf("tie at position 1 fused to %+v, want first-seen %+v", first[1], c)
+	}
+	for trial := 0; trial < 50; trial++ {
+		got, err := MajorityDecode(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d position %d: %+v, first fusion gave %+v", trial, i, got[i], first[i])
+			}
+		}
+	}
+}
+
 // TestMajorityDecodeSuppressesMisreads is the property form: with 2f+1 runs
 // of which at most f disagree at any position, the consensus equals the
 // majority run exactly.

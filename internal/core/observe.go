@@ -105,15 +105,29 @@ func predictScored(clf ml.Classifier, f []float64) (ml.ScoredPrediction, error) 
 // PredictScored — which returns the exact label Predict would — and
 // accumulating a DecisionLevel per stage.
 func (d *Disassembler) classifyScalogramScored(flat []float64) (Decision, error) {
+	return d.classifyExtractScored(func(pl *features.Pipeline) ([]float64, error) {
+		return pl.ExtractFromScalogram(flat)
+	})
+}
+
+// classifyExtractScored is classifyExtract with per-level confidence — the
+// scored twin shared by the full and sparse paths.
+func (d *Disassembler) classifyExtractScored(extract func(*features.Pipeline) ([]float64, error)) (Decision, error) {
 	dec := Decision{Confidence: 1, Levels: make([]obs.DecisionLevel, 0, 4)}
-	level := func(name string, lvl groupLevel) (int, error) {
-		f, err := lvl.pipe.ExtractFromScalogram(flat)
+	// post lets a level rewrite its decision before it is recorded — the
+	// group level uses it to restrict routing to trained groups
+	// (remapGroupScored); nil for the other levels.
+	level := func(name string, lvl groupLevel, post func([]float64, ml.ScoredPrediction) ml.ScoredPrediction) (int, error) {
+		f, err := extract(lvl.pipe)
 		if err != nil {
 			return 0, fmt.Errorf("core: %s features: %w", name, err)
 		}
 		sp, err := predictScored(lvl.clf, f)
 		if err != nil {
 			return 0, fmt.Errorf("core: %s classify: %w", name, err)
+		}
+		if post != nil {
+			sp = post(f, sp)
 		}
 		dec.Levels = append(dec.Levels, obs.DecisionLevel{
 			Level:      name,
@@ -125,7 +139,7 @@ func (d *Disassembler) classifyScalogramScored(flat []float64) (Decision, error)
 		dec.Confidence *= sp.Confidence
 		return sp.Label, nil
 	}
-	gi, err := level("group", d.group)
+	gi, err := level("group", d.group, d.remapGroupScored)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -136,7 +150,7 @@ func (d *Disassembler) classifyScalogramScored(flat []float64) (Decision, error)
 	if lvl.pipe == nil || lvl.clf == nil {
 		return Decision{}, fmt.Errorf("core: no instruction templates for group %d: %w", gi+1, ErrNotTrained)
 	}
-	ii, err := level("instr", lvl)
+	ii, err := level("instr", lvl, nil)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -150,14 +164,14 @@ func (d *Disassembler) classifyScalogramScored(flat []float64) (Decision, error)
 		sp := avr.SpecOf(cls)
 		needRd, needRr := operandRegisters(sp.Operands, cls)
 		if needRd {
-			r, err := level("rd", d.rd)
+			r, err := level("rd", d.rd, nil)
 			if err != nil {
 				return Decision{}, err
 			}
 			dec.Rd, dec.HasRd = uint8(r), true
 		}
 		if needRr {
-			r, err := level("rr", d.rr)
+			r, err := level("rr", d.rr, nil)
 			if err != nil {
 				return Decision{}, err
 			}
@@ -180,12 +194,23 @@ func (d *Disassembler) classifyScored(trace []float64) (Decision, []float64, err
 		met.rejected.Inc()
 		return Decision{}, nil, fmt.Errorf("core: rejecting trace: %w", err)
 	}
-	flat, err := d.group.pipe.RawScalogram(trace)
-	if err != nil {
-		met.rejected.Inc()
-		return Decision{}, nil, fmt.Errorf("core: group features: %w", err)
+	var (
+		dec Decision
+		err error
+	)
+	if d.SparseEnabled() {
+		met.sparseTraces.Inc()
+		dec, err = d.classifyExtractScored(func(pl *features.Pipeline) ([]float64, error) {
+			return pl.ExtractSparse(trace)
+		})
+	} else {
+		var flat []float64
+		if flat, err = d.group.pipe.RawScalogram(trace); err != nil {
+			met.rejected.Inc()
+			return Decision{}, nil, fmt.Errorf("core: group features: %w", err)
+		}
+		dec, err = d.classifyScalogramScored(flat)
 	}
-	dec, err := d.classifyScalogramScored(flat)
 	if err != nil {
 		met.rejected.Inc()
 		return Decision{}, nil, err

@@ -35,9 +35,11 @@ func acquireTestTraces(t *testing.T, cfg TrainerConfig, classes []avr.Class, per
 	return traces
 }
 
-// TestClassifyOneTransformPerTrace pins the tentpole invariant: a hierarchical
-// classification — group, instruction, and (when trained) Rd/Rr levels —
-// costs exactly one CWT per trace, and Disassemble costs exactly len(traces).
+// TestClassifyOneTransformPerTrace pins the cost invariants of both inference
+// paths: with sparse off, a hierarchical classification — group, instruction,
+// and (when trained) Rd/Rr levels — costs exactly one full CWT per trace and
+// Disassemble costs exactly len(traces); on the sparse path it costs ZERO
+// full CWTs — only per-level sparse evaluations.
 func TestClassifyOneTransformPerTrace(t *testing.T) {
 	cfg := smallConfig()
 	classes := []avr.Class{avr.OpADD, avr.OpAND, avr.OpLDI, avr.OpSEC}
@@ -47,6 +49,9 @@ func TestClassifyOneTransformPerTrace(t *testing.T) {
 	}
 	traces := acquireTestTraces(t, cfg, classes, 3)
 
+	if err := d.SetSparseMode(SparseOff); err != nil {
+		t.Fatal(err)
+	}
 	before := dsp.TransformCount()
 	if _, err := d.Classify(traces[0]); err != nil {
 		t.Fatal(err)
@@ -61,6 +66,31 @@ func TestClassifyOneTransformPerTrace(t *testing.T) {
 	}
 	if got := dsp.TransformCount() - before; got != uint64(len(traces)) {
 		t.Fatalf("Disassemble of %d traces ran %d CWTs, want exactly %d", len(traces), got, len(traces))
+	}
+
+	// Sparse path: no full transform at all, and at least one sparse
+	// evaluation per hierarchy level actually consulted (group + instr here).
+	if err := d.SetSparseMode(SparseOn); err != nil {
+		t.Fatal(err)
+	}
+	before = dsp.TransformCount()
+	sparseBefore := dsp.SparseTransformCount()
+	if _, err := d.Classify(traces[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := dsp.TransformCount() - before; got != 0 {
+		t.Fatalf("sparse Classify ran %d full CWTs, want 0", got)
+	}
+	if got := dsp.SparseTransformCount() - sparseBefore; got != 2 {
+		t.Fatalf("sparse Classify ran %d sparse evaluations, want 2 (group + instr)", got)
+	}
+
+	before = dsp.TransformCount()
+	if _, err := d.Disassemble(traces); err != nil {
+		t.Fatal(err)
+	}
+	if got := dsp.TransformCount() - before; got != 0 {
+		t.Fatalf("sparse Disassemble of %d traces ran %d full CWTs, want 0", len(traces), got)
 	}
 }
 

@@ -21,7 +21,13 @@ import (
 // added the per-pipeline drift baseline (features.FeatureBaseline) for
 // covariate-shift monitoring; version-1 files still load — gob leaves the
 // absent Baseline nil — but drift monitoring is unavailable for them.
-const templateFormatVersion = 2
+// Version 3 added the wavelet-bank configuration and normalization mode
+// (dsp.BankConfig / features.NormMode inside PipelineConfig) that sparse
+// per-cell inference is rebuilt from; v1/v2 files still load — the absent
+// fields decode to their zero values, meaning the paper's bank and the
+// legacy scalogram-plane normalization — and classify via the full-CWT path
+// (Disassembler.SparseCapable reports false for their CSA templates).
+const templateFormatVersion = 3
 
 // minTemplateFormatVersion is the oldest format Load still accepts.
 const minTemplateFormatVersion = 1

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"repro/internal/avr"
+	"repro/internal/dsp"
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/obs"
+)
+
+// downgradeState rewrites a freshly saved v3 template state to look like a
+// file written by an older build: the fields that version introduced are
+// zeroed exactly as gob would leave them when decoding an old stream.
+func downgradeState(t *testing.T, data []byte, version int) []byte {
+	t.Helper()
+	var st disassemblerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	st.Version = version
+	strip := func(ls *levelState) {
+		if !ls.Present {
+			return
+		}
+		// v3 additions: bank + normalization mode inside the config.
+		ls.Pipe.Cfg.Bank = dsp.BankConfig{}
+		ls.Pipe.Cfg.NormMode = features.NormScalogram
+		if version < 2 {
+			// v2 addition: the drift baseline.
+			ls.Pipe.Baseline = nil
+		}
+	}
+	strip(&st.Group)
+	for i := range st.Instr {
+		strip(&st.Instr[i])
+	}
+	strip(&st.Rd)
+	strip(&st.Rr)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadLegacyVersionsFallBackToFullPath pins the compatibility contract of
+// template format v3: v2 and v1 files — whose CSA templates carry the legacy
+// scalogram-plane normalization — still load, report themselves not
+// sparse-capable, refuse -sparse=on with the typed sentinel, and classify
+// through the full-FFT path without touching the sparse counters. v1 files
+// additionally lack a drift baseline.
+func TestLoadLegacyVersionsFallBackToFullPath(t *testing.T) {
+	cfg := smallConfig()
+	classes := []avr.Class{avr.OpADC, avr.OpAND}
+	d, err := TrainSubset(cfg, classes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v3 := buf.Bytes()
+
+	// The v3 file itself restores sparse-capable.
+	d3, err := Load(bytes.NewReader(v3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d3.SparseCapable() || !d3.SparseEnabled() {
+		t.Fatal("v3 template should restore sparse-capable and resolve SparseAuto to the sparse path")
+	}
+	if err := d3.SetSparseMode(SparseOn); err != nil {
+		t.Fatalf("v3 template refused -sparse=on: %v", err)
+	}
+
+	traces := acquireTestTraces(t, cfg, classes, 2)
+	want, err := d3.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, version := range []int{2, 1} {
+		old, err := Load(bytes.NewReader(downgradeState(t, v3, version)))
+		if err != nil {
+			t.Fatalf("v%d template failed to load: %v", version, err)
+		}
+		if old.SparseCapable() {
+			t.Fatalf("v%d NormScalogram template must not be sparse-capable", version)
+		}
+		if old.SparseEnabled() {
+			t.Fatalf("v%d template must resolve SparseAuto to the full path", version)
+		}
+		if err := old.SetSparseMode(SparseOn); !errors.Is(err, features.ErrSparseIncapable) {
+			t.Fatalf("v%d -sparse=on error = %v, want ErrSparseIncapable", version, err)
+		}
+		fullBefore := dsp.TransformCount()
+		sparseBefore := dsp.SparseTransformCount()
+		got, err := old.Disassemble(traces)
+		if err != nil {
+			t.Fatalf("v%d template failed to decode: %v", version, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("v%d decoded %d instructions, want %d", version, len(got), len(want))
+		}
+		if n := dsp.SparseTransformCount() - sparseBefore; n != 0 {
+			t.Fatalf("v%d template ran %d sparse evaluations, want 0", version, n)
+		}
+		if n := dsp.TransformCount() - fullBefore; n != uint64(len(traces)) {
+			t.Fatalf("v%d template ran %d full CWTs, want %d", version, n, len(traces))
+		}
+		if version < 2 {
+			if old.DriftBaseline() != nil {
+				t.Fatal("v1 template should have no drift baseline")
+			}
+			if _, err := old.NewDriftMonitor(obs.DriftConfig{}); !errors.Is(err, ErrNoDriftBaseline) {
+				t.Fatalf("v1 drift monitor error = %v, want ErrNoDriftBaseline", err)
+			}
+		} else if old.DriftBaseline() == nil {
+			t.Fatal("v2 template should keep its drift baseline")
+		}
+	}
+}
+
+// noScores hides the ml.Scorer method set of the wrapped classifier, modeling
+// an externally supplied Classifier without raw per-class scores.
+type noScores struct{ ml.Classifier }
+
+// TestUntrainedGroupRouting pins the subset-disassembler routing contract: a
+// trace whose group decision lands on a group without instruction templates
+// is redirected onto the best-scoring trained group (ml.Scorer classifiers),
+// identically on the plain and scored paths; without scores the typed
+// untrained error is preserved.
+func TestUntrainedGroupRouting(t *testing.T) {
+	cfg := smallConfig()
+	classes := []avr.Class{avr.OpADD, avr.OpLDI}
+	if avr.OpADD.Group() == avr.OpLDI.Group() {
+		t.Fatal("test needs classes from two different groups")
+	}
+	d, err := TrainSubset(cfg, classes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := acquireTestTraces(t, cfg, []avr.Class{avr.OpLDI}, 4)
+
+	// Forget LDI's group level: every LDI trace now routes to an untrained
+	// group and must be remapped onto ADD's group instead of failing.
+	gone := int(avr.OpLDI.Group()) - 1
+	kept := avr.OpADD.Group()
+	d.instr[gone] = groupLevel{}
+	d.instrClass[gone] = nil
+	for i, tr := range traces {
+		dec, err := d.Classify(tr)
+		if err != nil {
+			t.Fatalf("trace %d: remapped classify failed: %v", i, err)
+		}
+		if dec.Group != kept {
+			t.Fatalf("trace %d: remapped to group %d, want %d", i, dec.Group, kept)
+		}
+		scored, err := d.ClassifyScored(tr)
+		if err != nil {
+			t.Fatalf("trace %d: scored remapped classify failed: %v", i, err)
+		}
+		if scored.Decoded != dec {
+			t.Fatalf("trace %d: scored path decoded %+v, plain path %+v", i, scored.Decoded, dec)
+		}
+	}
+
+	// Without raw scores there is nothing to remap with: the typed untrained
+	// error must surface as before.
+	d.group.clf = noScores{d.group.clf}
+	if _, err := d.Classify(traces[0]); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("scoreless classify error = %v, want ErrNotTrained", err)
+	}
+}

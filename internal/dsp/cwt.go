@@ -19,6 +19,61 @@ const (
 	kernelHalfWidthSigmas = 4.0
 )
 
+// BankConfig names the mother-wavelet bank parameters that used to live as
+// package-level constants: how many scales, over which range (in samples),
+// and at which Morlet center frequency ω0. It is carried in
+// features.PipelineConfig and persisted with every template, so sparse
+// inference kernels are provably rebuilt from the same bank the template was
+// fit with, and so the wavelet-ablation experiments can sweep banks without
+// recompiling.
+//
+// The zero value means "the paper's bank" (see DefaultBank) — templates saved
+// before BankConfig existed decode to the zero value and keep their exact
+// behavior.
+type BankConfig struct {
+	// NumScales is the number of geometrically spaced scales (paper: 50).
+	NumScales int
+	// MinScale / MaxScale bound the scale range in samples (paper: 2..80).
+	MinScale, MaxScale float64
+	// Omega0 is the Morlet center frequency (paper: 6). Zero means
+	// MorletOmega0.
+	Omega0 float64
+}
+
+// DefaultBank is the paper's configuration: 50 scales from 2 to 80 samples
+// at ω0 = 6 — center frequencies from ~0.48 down to ~0.012 cycles/sample,
+// bracketing the clock harmonics of a 16 MHz target sampled at 2.5 GS/s.
+func DefaultBank() BankConfig {
+	return BankConfig{NumScales: 50, MinScale: 2, MaxScale: 80, Omega0: MorletOmega0}
+}
+
+// withDefaults resolves the zero value (and a zero Omega0) to the paper's
+// bank so configs persisted by older builds keep their meaning.
+func (b BankConfig) withDefaults() BankConfig {
+	if b.NumScales == 0 && b.MinScale == 0 && b.MaxScale == 0 {
+		b = DefaultBank()
+	}
+	if b.Omega0 == 0 {
+		b.Omega0 = MorletOmega0
+	}
+	return b
+}
+
+// Validate reports whether the (default-resolved) bank is usable.
+func (b BankConfig) Validate() error {
+	b = b.withDefaults()
+	if b.NumScales < 1 {
+		return fmt.Errorf("dsp: bank needs at least 1 scale, got %d", b.NumScales)
+	}
+	if b.MinScale <= 0 || b.MaxScale < b.MinScale {
+		return fmt.Errorf("dsp: invalid bank scale range [%g, %g]", b.MinScale, b.MaxScale)
+	}
+	if b.Omega0 <= 0 {
+		return fmt.Errorf("dsp: bank ω0 must be positive, got %g", b.Omega0)
+	}
+	return nil
+}
+
 // transformCount counts completed scalogram computations process-wide, as an
 // always-live registry counter (attached under "dsp.cwt.transforms" whenever
 // a registry is installed). The redundancy-elimination layer
@@ -74,6 +129,7 @@ type cwtPlan struct {
 // fan the work out over the package-wide parallel.Workers() pool, over both
 // traces and scales.
 type CWT struct {
+	bank    BankConfig
 	scales  []float64
 	kernels [][]complex128 // time-reversed conjugate wavelet per scale
 
@@ -86,18 +142,24 @@ type CWT struct {
 }
 
 // NewCWT builds a transform with nScales scales geometrically spaced between
-// minScale and maxScale (in samples). The paper's configuration is
-// NewCWT(50, 2, 80): center frequencies from ~0.48 down to ~0.012
-// cycles/sample, which brackets the clock harmonics of a 16 MHz target
-// sampled at 2.5 GS/s.
+// minScale and maxScale (in samples) at the default ω0; see NewCWTBank for
+// the named-configuration form. The paper's configuration is NewCWT(50, 2, 80).
 func NewCWT(nScales int, minScale, maxScale float64) (*CWT, error) {
-	if nScales < 1 {
-		return nil, fmt.Errorf("dsp: NewCWT needs at least 1 scale, got %d", nScales)
+	return NewCWTBank(BankConfig{NumScales: nScales, MinScale: minScale, MaxScale: maxScale})
+}
+
+// NewCWTBank builds a transform from a named bank configuration. The zero
+// value (and a zero Omega0) resolves to DefaultBank, so configurations
+// restored from templates predating BankConfig rebuild the paper's bank
+// exactly.
+func NewCWTBank(bank BankConfig) (*CWT, error) {
+	bank = bank.withDefaults()
+	if err := bank.Validate(); err != nil {
+		return nil, err
 	}
-	if minScale <= 0 || maxScale < minScale {
-		return nil, fmt.Errorf("dsp: invalid scale range [%g, %g]", minScale, maxScale)
-	}
+	nScales := bank.NumScales
 	c := &CWT{
+		bank:    bank,
 		scales:  make([]float64, nScales),
 		kernels: make([][]complex128, nScales),
 		plans:   map[int]*cwtPlan{},
@@ -105,20 +167,24 @@ func NewCWT(nScales int, minScale, maxScale float64) (*CWT, error) {
 	for j := 0; j < nScales; j++ {
 		var s float64
 		if nScales == 1 {
-			s = minScale
+			s = bank.MinScale
 		} else {
 			// Geometric spacing: fine resolution at small scales.
 			t := float64(j) / float64(nScales-1)
-			s = minScale * math.Pow(maxScale/minScale, t)
+			s = bank.MinScale * math.Pow(bank.MaxScale/bank.MinScale, t)
 		}
 		c.scales[j] = s
-		c.kernels[j] = morletKernel(s)
+		c.kernels[j] = morletKernel(s, bank.Omega0)
 		if len(c.kernels[j]) > c.maxKernelSz {
 			c.maxKernelSz = len(c.kernels[j])
 		}
 	}
 	return c, nil
 }
+
+// Bank returns the (default-resolved) bank configuration this transform was
+// built from.
+func (c *CWT) Bank() BankConfig { return c.bank }
 
 // planFor returns the kernel-spectrum plan for signals of length n, building
 // and caching it on first use. Double-checked locking keeps the hot path a
@@ -181,12 +247,13 @@ func (c *CWT) Scale(j int) float64 { return c.scales[j] }
 
 // CenterFrequency returns the center frequency (cycles/sample) of scale j.
 func (c *CWT) CenterFrequency(j int) float64 {
-	return MorletOmega0 / (2 * math.Pi * c.scales[j])
+	return c.bank.Omega0 / (2 * math.Pi * c.scales[j])
 }
 
 // morletKernel returns the sampled, conjugated, time-reversed Morlet wavelet
-// at scale s, normalized by 1/√s, ready for linear convolution.
-func morletKernel(s float64) []complex128 {
+// at scale s and center frequency omega0, normalized by 1/√s, ready for
+// linear convolution.
+func morletKernel(s, omega0 float64) []complex128 {
 	half := int(math.Ceil(kernelHalfWidthSigmas * s))
 	n := 2*half + 1
 	k := make([]complex128, n)
@@ -196,7 +263,7 @@ func morletKernel(s float64) []complex128 {
 		env := norm * math.Exp(-0.5*t*t)
 		// Conjugate of exp(iω0 t) evaluated at reversed time equals
 		// exp(iω0 t) at forward time; Morlet is symmetric in envelope.
-		k[i] = complex(env*math.Cos(MorletOmega0*t), env*math.Sin(MorletOmega0*t))
+		k[i] = complex(env*math.Cos(omega0*t), env*math.Sin(omega0*t))
 	}
 	return k
 }

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
+	"repro/internal/dsp"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
@@ -33,6 +35,25 @@ func init() {
 	})
 }
 
+// NormMode selects how PerTraceNorm is applied.
+type NormMode int
+
+const (
+	// NormScalogram is the legacy covariate-shift normalization: the
+	// scalogram plane is standardized by its own mean/std. Because the
+	// moments are taken over all Scales×TraceLen cells, this mode requires
+	// the full CWT at inference — templates fitted with it cannot use the
+	// sparse path. The zero value, so states persisted before NormMode
+	// existed keep their exact numerics.
+	NormScalogram NormMode = iota
+	// NormTrace standardizes the trace in the time domain *before* the CWT.
+	// The CWT is linear, so a per-trace gain/offset is cancelled exactly —
+	// same covariate-shift rationale as NormScalogram — while the
+	// normalization cost is O(TraceLen) and independent of the scalogram,
+	// which is what makes sparse per-cell inference possible.
+	NormTrace
+)
+
 // PipelineConfig controls the end-to-end feature extraction of Fig. 1:
 // CWT → KL selection → normalization → PCA.
 type PipelineConfig struct {
@@ -56,9 +77,19 @@ type PipelineConfig struct {
 	// so this normalization cancels it exactly; the not-varying masks are
 	// then computed on shift-free data and keep the informative points.
 	PerTraceNorm bool
+	// NormMode picks the PerTraceNorm mechanism (scalogram-plane vs
+	// time-domain); ignored when PerTraceNorm is off. See NormScalogram /
+	// NormTrace.
+	NormMode NormMode
 	// Standardize applies a training-set z-score before PCA (Fig. 1's
 	// normalization stage).
 	Standardize bool
+	// Bank names the mother-wavelet bank (scale count/range, Morlet center
+	// frequency). The zero value is the paper's bank (dsp.DefaultBank), which
+	// is also what configurations persisted before BankConfig existed decode
+	// to. Persisted with the template so sparse kernels are provably rebuilt
+	// from the bank the template was fit with.
+	Bank dsp.BankConfig
 }
 
 // DefaultPipelineConfig mirrors the paper's base configuration.
@@ -72,12 +103,18 @@ func DefaultPipelineConfig() PipelineConfig {
 }
 
 // CSAPipelineConfig returns the covariate-shift-adapted configuration of
-// Section 5.5: tighter KLth and per-trace normalization.
+// Section 5.5: tighter KLth and per-trace normalization. Since the sparse
+// inference work the normalization is NormTrace (time-domain) — it cancels a
+// per-trace gain/offset exactly like the plane normalization did, and keeps
+// the fitted template eligible for sparse per-cell inference. Templates
+// trained by older builds carry NormScalogram and keep their numerics (and
+// the full CWT path).
 func CSAPipelineConfig() PipelineConfig {
 	cfg := DefaultPipelineConfig()
 	cfg.UseMask = true
 	cfg.KLth = 0.0005
 	cfg.PerTraceNorm = true
+	cfg.NormMode = NormTrace
 	return cfg
 }
 
@@ -107,6 +144,12 @@ type Pipeline struct {
 	pca      *PCA
 	baseline *FeatureBaseline
 	nClasses int
+	// sparse is the lazily built per-cell evaluator over Points (see
+	// ExtractSparse); guarded by sparseOnce so the fitted pipeline stays
+	// immutable-after-first-build and concurrency-safe.
+	sparseOnce sync.Once
+	sparse     *dsp.SparseCWT
+	sparseErr  error
 	// MaskSkipped counts time–frequency points dropped from the not-varying
 	// masks because their within-class divergence was non-finite (see
 	// Selector.NotVaryingMask). Zero on healthy data.
@@ -138,7 +181,7 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 	if nClasses < 2 {
 		return nil, fmt.Errorf("features: FitPipeline needs >= 2 classes, got %d", nClasses)
 	}
-	sel, err := NewSelector(len(traces[0]))
+	sel, err := NewSelectorBank(len(traces[0]), cfg.Bank)
 	if err != nil {
 		return nil, err
 	}
@@ -171,6 +214,17 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 	traceMoments := NewPointStats(len(driftFeatureNames))
 	pl := &Pipeline{cfg: cfg, sel: sel, nClasses: nClasses}
 	n := len(traces)
+	// In NormTrace mode the covariate-shift normalization happens in the time
+	// domain, before any CWT: the statistics, masks and selection all see
+	// scalograms of standardized traces. The caller's traces are never
+	// mutated; the drift baseline below still reads the raw traces.
+	input := traces
+	if pl.needsTraceNorm() {
+		input = make([][]float64, n)
+		parallel.For(n, func(k int) {
+			input[k] = stats.NormalizeTrace(traces[k])
+		})
+	}
 	useCache := n*sel.numPoints()*8 <= MaxScalogramCacheBytes
 	chunk := n
 	if !useCache {
@@ -188,7 +242,7 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 		if hi > n {
 			hi = n
 		}
-		sub, err := sel.CWT.TransformFlatBatchCtx(statsCtx, traces[lo:hi])
+		sub, err := sel.CWT.TransformFlatBatchCtx(statsCtx, input[lo:hi])
 		if err != nil {
 			statsSpan.End()
 			return nil, err
@@ -202,7 +256,7 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 				return nil, err
 			}
 		}
-		if cfg.PerTraceNorm {
+		if cfg.PerTraceNorm && cfg.NormMode == NormScalogram {
 			parallel.For(len(sub), func(k int) {
 				stats.NormalizeTraceInto(sub[k], sub[k])
 			})
@@ -370,15 +424,27 @@ func observeSince(h *obs.Histogram, start time.Time) {
 	h.Observe(time.Since(start).Seconds())
 }
 
-// RawScalogram computes the flattened, un-normalized CWT scalogram of a
-// trace — the shared representation every hierarchy level of a Disassembler
-// extracts from. Pass it to ExtractFromScalogram / PairVectorFromScalogram
-// of any pipeline fitted for the same trace length; per-trace normalization
-// (CSA) is applied by the consuming pipeline, not here, so pipelines with
-// different configurations can share one scalogram.
+// needsTraceNorm reports whether this pipeline standardizes the trace in the
+// time domain before the CWT (NormTrace covariate-shift adaptation).
+func (pl *Pipeline) needsTraceNorm() bool {
+	return pl.cfg.PerTraceNorm && pl.cfg.NormMode == NormTrace
+}
+
+// RawScalogram computes the flattened CWT scalogram of a trace — the shared
+// representation every hierarchy level of a Disassembler extracts from. Pass
+// it to ExtractFromScalogram / PairVectorFromScalogram of any pipeline fitted
+// for the same trace length, bank and NormMode. In NormScalogram mode the
+// plane is un-normalized (the consuming pipeline applies CSA on the fly, so
+// differently configured pipelines can share one scalogram); in NormTrace
+// mode the trace is standardized first — the CWT magnitude is not linear in
+// the trace's affine parameters, so the normalization cannot be deferred past
+// the transform.
 func (pl *Pipeline) RawScalogram(trace []float64) ([]float64, error) {
 	if len(trace) != pl.sel.TraceLen {
 		return nil, fmt.Errorf("features: trace length %d, want %d", len(trace), pl.sel.TraceLen)
+	}
+	if pl.needsTraceNorm() {
+		return pl.sel.CWT.TransformFlat(stats.NormalizeTrace(trace)), nil
 	}
 	return pl.sel.CWT.TransformFlat(trace), nil
 }
@@ -393,16 +459,18 @@ func (pl *Pipeline) pointsFromNormalized(flat []float64) []float64 {
 	return out
 }
 
-// rawFeaturesFromScalogram extracts the unified DNVP values from a raw
-// (un-normalized) scalogram, applying the per-trace normalization on the fly
-// — (v − mean)/std over the full plane, evaluated only at the selected
-// points, bit-identical to normalizing the whole plane first.
+// rawFeaturesFromScalogram extracts the unified DNVP values from a scalogram
+// produced by RawScalogram. In NormScalogram mode the per-trace normalization
+// is applied on the fly — (v − mean)/std over the full plane, evaluated only
+// at the selected points, bit-identical to normalizing the whole plane first.
+// In NormTrace mode the normalization already happened in the time domain, so
+// the points are read directly.
 func (pl *Pipeline) rawFeaturesFromScalogram(flat []float64) ([]float64, error) {
 	if len(flat) != pl.sel.numPoints() {
 		return nil, fmt.Errorf("features: scalogram length %d, want %d", len(flat), pl.sel.numPoints())
 	}
 	out := make([]float64, len(pl.Points))
-	if pl.cfg.PerTraceNorm {
+	if pl.cfg.PerTraceNorm && pl.cfg.NormMode == NormScalogram {
 		m, sd := stats.TraceNormParams(flat)
 		for i, p := range pl.Points {
 			out[i] = (flat[pl.sel.flatIndex(p)] - m) / sd

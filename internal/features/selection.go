@@ -78,7 +78,13 @@ type Selector struct {
 // NewSelector builds a selector with the paper's defaults (50-scale CWT,
 // KLth 0.005, top 5 per pair) for traces of length traceLen.
 func NewSelector(traceLen int) (*Selector, error) {
-	c, err := dsp.NewCWT(50, 2, 80)
+	return NewSelectorBank(traceLen, dsp.BankConfig{})
+}
+
+// NewSelectorBank is NewSelector over a named wavelet bank; the zero-value
+// bank resolves to the paper's (dsp.DefaultBank).
+func NewSelectorBank(traceLen int, bank dsp.BankConfig) (*Selector, error) {
+	c, err := dsp.NewCWTBank(bank)
 	if err != nil {
 		return nil, err
 	}

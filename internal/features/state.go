@@ -40,13 +40,16 @@ func (pl *Pipeline) State() (*PipelineState, error) {
 	}, nil
 }
 
-// PipelineFromState reconstructs a fitted pipeline (the CWT bank is rebuilt
-// deterministically from the trace length).
+// PipelineFromState reconstructs a fitted pipeline. The CWT is rebuilt
+// deterministically from the persisted bank configuration (states predating
+// BankConfig decode to the zero value, which resolves to the paper's bank),
+// so sparse inference kernels are provably built from the bank the template
+// was fit with.
 func PipelineFromState(st *PipelineState) (*Pipeline, error) {
 	if st == nil || st.PCA == nil || len(st.Points) == 0 || st.TraceLen <= 0 {
 		return nil, errors.New("features: invalid pipeline state")
 	}
-	sel, err := NewSelector(st.TraceLen)
+	sel, err := NewSelectorBank(st.TraceLen, st.Cfg.Bank)
 	if err != nil {
 		return nil, err
 	}

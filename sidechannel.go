@@ -51,6 +51,11 @@ type (
 	FlowMismatch = core.FlowMismatch
 	// DetectionResult summarizes a malware check.
 	DetectionResult = core.DetectionResult
+	// SparseMode selects the inference path: the sparse per-cell CWT
+	// (templates' selected time–frequency cells only, an order of magnitude
+	// cheaper per trace) or the full FFT scalogram. See
+	// Disassembler.SetSparseMode.
+	SparseMode = core.SparseMode
 )
 
 // ISA model types.
@@ -104,6 +109,19 @@ const (
 	NaiveBayes = core.ClassifierNB
 	KNN        = core.ClassifierKNN
 )
+
+// Inference-path modes accepted by Disassembler.SetSparseMode.
+const (
+	// SparseAuto uses the sparse path whenever the templates allow it.
+	SparseAuto = core.SparseAuto
+	// SparseOn requires the sparse path (SetSparseMode fails otherwise).
+	SparseOn = core.SparseOn
+	// SparseOff forces the full-FFT path.
+	SparseOff = core.SparseOff
+)
+
+// ParseSparseMode parses the -sparse flag syntax: "auto", "on" or "off".
+func ParseSparseMode(s string) (SparseMode, error) { return core.ParseSparseMode(s) }
 
 // DefaultConfig returns a laptop-scale training configuration with covariate
 // shift adaptation enabled (the paper's best-practice pipeline).

@@ -27,6 +27,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -183,6 +184,8 @@ func runDemo(ctx context.Context, args []string) error {
 	programs, traces, seed, workers, sparse, obsOpts := campaignFlags(fs)
 	saveTo := fs.String("save", "", "write the trained templates to this file")
 	loadFrom := fs.String("templates", "", "load templates from this file instead of training")
+	dumpTraces := fs.String("dump-traces", "", "write the first demo run's traces to this file as a JSON body ready to POST to scdisd")
+	dumpListing := fs.String("dump-listing", "", "write the first demo run's decoded listing to this file, one instruction per line")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -271,6 +274,23 @@ func runDemo(ctx context.Context, args []string) error {
 			return err
 		}
 		runs = append(runs, decs)
+		// The first run doubles as the serve-smoke fixture: the traces as a
+		// ready-to-POST scdisd request body, and this process's decode of
+		// them as the reference listing the server must match bitwise.
+		if r == 0 {
+			if *dumpTraces != "" {
+				if err := writeJSONFile(*dumpTraces, struct {
+					Traces [][]float64 `json:"traces"`
+				}{tr}); err != nil {
+					return err
+				}
+			}
+			if *dumpListing != "" {
+				if err := os.WriteFile(*dumpListing, []byte(core.Listing(decs)), 0o644); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	fused, err := core.MajorityDecode(runs)
 	if err != nil {
@@ -284,6 +304,19 @@ func runDemo(ctx context.Context, args []string) error {
 	manifest.Config = cfg
 	manifest.Report = rep
 	return sess.Close(manifest, parallel.Workers())
+}
+
+// writeJSONFile writes v as JSON to path.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runDetect(ctx context.Context, args []string) error {

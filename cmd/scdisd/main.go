@@ -1,0 +1,161 @@
+// Command scdisd serves trained disassembler templates over HTTP — the
+// disassembly-as-a-service front end over the same core the scdis CLI uses.
+//
+//	scdisd -templates dir/ -addr :8080
+//
+// Every *.tpl file in the directory becomes a template named after its
+// basename ("demo.tpl" serves as "demo"; version by naming, e.g.
+// "demo@2.tpl"). Files are loaded lazily on first request and hot-reloaded:
+// SIGHUP or POST /admin/reload rescans the directory, picking up new,
+// changed and removed files without dropping in-flight requests.
+//
+// Endpoints:
+//
+//	POST /v1/disassemble/{template}   decode a trace batch; JSON
+//	                                  {"traces": [[...], ...]} or
+//	                                  application/octet-stream (uint32 LE
+//	                                  count, uint32 LE traceLen, float64 LE
+//	                                  samples); add ?trace=1 for a stage tree
+//	GET  /v1/templates                per-template status incl. drift state
+//	GET  /healthz                     liveness (503 with no templates)
+//	GET  /metrics, /metrics.json      process metrics (Prometheus / JSON)
+//	POST /admin/reload                rescan the template directory
+//
+// Backpressure: at most -max-inflight batches decode concurrently and at
+// most -max-queue wait; beyond that the server sheds with 429 and a
+// Retry-After hint. SIGINT/SIGTERM drains: the listener closes, in-flight
+// requests finish (bounded by -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "scdisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("scdisd", flag.ExitOnError)
+	templates := fs.String("templates", "", "directory of trained template files (*.tpl); required")
+	addr := fs.String("addr", ":8080", "listen address")
+	sparse := fs.String("sparse", "auto", "inference path: auto (sparse when templates allow), on, off; on degrades per template when a legacy file cannot support it")
+	workers := fs.Int("workers", 0, "worker goroutines per decode batch (0 = all CPUs)")
+	maxInFlight := fs.Int("max-inflight", 2, "concurrently decoded batches before requests queue")
+	maxQueue := fs.Int("max-queue", 8, "queued batches before requests are shed with 429")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	decisionLog := fs.String("decision-log", "", "write sampled per-classification decision records as JSONL to this file (\"-\" = stdout)")
+	decisionSample := fs.Int("decision-sample", 1, "log 1 in N decisions to -decision-log")
+	driftWindow := fs.Int("drift-window", obs.DefaultDriftWindow, "covariate-shift monitor: sliding window size in traces")
+	driftWarn := fs.Float64("drift-warn", obs.DefaultDriftWarn, "covariate-shift monitor: symmetric-KL warn threshold")
+	driftCritical := fs.Float64("drift-critical", obs.DefaultDriftCritical, "covariate-shift monitor: symmetric-KL critical threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *templates == "" {
+		return errors.New("-templates is required (a directory of *.tpl files)")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = all CPUs), got %d", *workers)
+	}
+	sparseMode, err := core.ParseSparseMode(*sparse)
+	if err != nil {
+		return err
+	}
+	if err := obs.SetupLogging(*logFormat, os.Stderr, false); err != nil {
+		return err
+	}
+	parallel.SetWorkers(*workers)
+
+	// One metrics registry for the process lifetime, installed before any
+	// request runs. Rebinding mid-serve is safe since the atomic handle-swap
+	// rework, but a server has no reason to: every instrument accumulates
+	// here and /metrics snapshots it.
+	obs.SetDefault(obs.NewRegistry())
+
+	var decisions *obs.DecisionLog
+	if *decisionLog != "" {
+		if decisions, err = obs.OpenDecisionLog(*decisionLog, *decisionSample); err != nil {
+			return err
+		}
+		defer decisions.Close()
+	}
+
+	reg, err := serve.NewRegistry(*templates, serve.RegistryConfig{
+		Sparse:    sparseMode,
+		Drift:     obs.DriftConfig{Window: *driftWindow, Warn: *driftWarn, Critical: *driftCritical},
+		Decisions: decisions,
+	})
+	if err != nil {
+		return err
+	}
+	if names := reg.Names(); len(names) == 0 {
+		slog.Warn("template directory holds no *.tpl files yet; serving 503 until a reload finds some", "dir", *templates)
+	} else {
+		slog.Info("templates registered", "count", len(names), "names", names)
+	}
+
+	srv := serve.NewServer(reg, serve.Config{
+		MaxInFlight: *maxInFlight,
+		MaxQueue:    *maxQueue,
+		RetryAfter:  *retryAfter,
+	})
+
+	// SIGHUP rescans the template directory; SIGINT/SIGTERM drains and exits.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	slog.Info("scdisd listening", "addr", *addr, "templates", *templates,
+		"max_inflight", *maxInFlight, "max_queue", *maxQueue)
+
+	for {
+		select {
+		case <-hup:
+			slog.Info("SIGHUP: rescanning template directory")
+			if err := reg.Reload(); err != nil {
+				slog.Error("reload failed", "err", err)
+			}
+		case sig := <-stop:
+			slog.Info("shutting down: draining in-flight requests", "signal", sig.String(), "timeout", *drainTimeout)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			err := srv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			slog.Info("scdisd stopped cleanly")
+			return nil
+		case err := <-errc:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			return nil
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/avr"
 	"repro/internal/features"
@@ -27,25 +28,40 @@ import (
 	"repro/internal/power"
 )
 
-// met holds the disassembly instrument handles; nil (no-op) until a registry
-// is installed with obs.SetDefault.
-var met struct {
+// coreMetrics holds the disassembly instrument handles; the handles are nil
+// (no-op) under a nil registry. The live set is swapped atomically by the
+// OnDefault hook so obs.SetDefault can rebind while classifications run.
+type coreMetrics struct {
 	classified      *obs.Counter   // core.traces.classified — Classify calls that succeeded
 	rejected        *obs.Counter   // core.traces.rejected — Classify calls that failed
 	sparseTraces    *obs.Counter   // core.traces.sparse — classifications served by the sparse path
+	sparseFallback  *obs.Counter   // core.sparse.fallback — sparse-preferred loads degraded to the full path
 	groupRemapped   *obs.Counter   // core.group.remapped — group decisions redirected onto a trained group
 	confidence      *obs.Histogram // core.decision.confidence — overall decision confidences
 	decisionLogErrs *obs.Counter   // core.decision_log.errors — failed JSONL writes
 }
 
+var metPtr atomic.Pointer[coreMetrics]
+
+// met returns the current handle set; never nil.
+func met() *coreMetrics {
+	if m := metPtr.Load(); m != nil {
+		return m
+	}
+	return &coreMetrics{}
+}
+
 func init() {
 	obs.OnDefault(func(r *obs.Registry) {
-		met.classified = r.Counter("core.traces.classified")
-		met.rejected = r.Counter("core.traces.rejected")
-		met.sparseTraces = r.Counter("core.traces.sparse")
-		met.groupRemapped = r.Counter("core.group.remapped")
-		met.confidence = r.HistogramWith("core.decision.confidence", obs.UnitBuckets())
-		met.decisionLogErrs = r.Counter("core.decision_log.errors")
+		metPtr.Store(&coreMetrics{
+			classified:      r.Counter("core.traces.classified"),
+			rejected:        r.Counter("core.traces.rejected"),
+			sparseTraces:    r.Counter("core.traces.sparse"),
+			sparseFallback:  r.Counter("core.sparse.fallback"),
+			groupRemapped:   r.Counter("core.group.remapped"),
+			confidence:      r.HistogramWith("core.decision.confidence", obs.UnitBuckets()),
+			decisionLogErrs: r.Counter("core.decision_log.errors"),
+		})
 	})
 }
 
@@ -202,9 +218,17 @@ type groupLevel struct {
 
 // Disassembler is a fully trained hierarchical template set.
 //
-// Concurrency: a trained Disassembler is immutable, so Classify and
-// Disassemble are safe for concurrent use; Disassemble additionally fans the
-// per-trace classification out over the parallel.Workers() pool.
+// Concurrency: a trained Disassembler is immutable, so Classify,
+// ClassifyScored, Disassemble and the scored batch variants are safe for
+// concurrent use from any number of goroutines — one shared Disassembler can
+// serve concurrent requests. Disassemble additionally fans the per-trace
+// classification out over the parallel.Workers() pool. The two mutating
+// setters (SetSparseMode*, SetObserver) are configuration, not serving: call
+// them before the first classification — they are read without
+// synchronization on the hot path. The observer sinks themselves
+// (DecisionLog, DriftMonitor, Reliability) are internally synchronized, so
+// concurrent batch decodes feed them safely; within one batch the feeding
+// order is the trace-stream order, across batches it is arrival order.
 type Disassembler struct {
 	group      groupLevel
 	instr      [avr.NumGroups]groupLevel
@@ -252,6 +276,24 @@ func (d *Disassembler) SetSparseMode(m SparseMode) error {
 	return nil
 }
 
+// SetSparseModePreferred is SetSparseMode for callers that prefer the sparse
+// path but must keep serving when a template cannot support it — a registry
+// loading a mixed set of template versions, where one legacy v1/v2 file must
+// not fail the whole load. SparseOn on a sparse-incapable template degrades
+// to the full-CWT path instead of returning an error: the method installs
+// SparseOff, increments the core.sparse.fallback counter and reports
+// fellBack=true so the caller can log the downgrade. Every other combination
+// behaves exactly like SetSparseMode and reports false.
+func (d *Disassembler) SetSparseModePreferred(m SparseMode) (fellBack bool) {
+	if m == SparseOn && !d.SparseCapable() {
+		met().sparseFallback.Inc()
+		d.sparseMode = SparseOff
+		return true
+	}
+	d.sparseMode = m
+	return false
+}
+
 // SparseMode returns the configured mode (not the resolved path; see
 // SparseEnabled).
 func (d *Disassembler) SparseMode() SparseMode { return d.sparseMode }
@@ -271,6 +313,16 @@ func (d *Disassembler) SparseEnabled() bool {
 
 // ErrNotTrained is returned when a Disassembler lacks a required level.
 var ErrNotTrained = errors.New("core: disassembler not trained")
+
+// TraceLen returns the trace length (in samples) the templates were fitted
+// at — the length every submitted trace must have. 0 for an untrained
+// disassembler.
+func (d *Disassembler) TraceLen() int {
+	if d.group.pipe == nil {
+		return 0
+	}
+	return d.group.pipe.TraceLen()
+}
 
 // Classify decodes a single power trace into an instruction.
 //
@@ -296,7 +348,7 @@ func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
 		return Decoded{}, ErrNotTrained
 	}
 	if err := power.ValidateTrace(trace, d.group.pipe.TraceLen()); err != nil {
-		met.rejected.Inc()
+		met().rejected.Inc()
 		return Decoded{}, fmt.Errorf("core: rejecting trace: %w", err)
 	}
 	var (
@@ -308,16 +360,16 @@ func (d *Disassembler) Classify(trace []float64) (Decoded, error) {
 	} else {
 		var flat []float64
 		if flat, err = d.group.pipe.RawScalogram(trace); err != nil {
-			met.rejected.Inc()
+			met().rejected.Inc()
 			return Decoded{}, fmt.Errorf("core: group features: %w", err)
 		}
 		dec, err = d.classifyScalogram(flat)
 	}
 	if err != nil {
-		met.rejected.Inc()
+		met().rejected.Inc()
 		return dec, err
 	}
-	met.classified.Inc()
+	met().classified.Inc()
 	return dec, nil
 }
 
@@ -333,7 +385,7 @@ func (d *Disassembler) classifyScalogram(flat []float64) (Decoded, error) {
 // per-cell path: each level evaluates only its own selected cells of the
 // trace, so no full scalogram is ever materialized.
 func (d *Disassembler) classifySparse(trace []float64) (Decoded, error) {
-	met.sparseTraces.Inc()
+	met().sparseTraces.Inc()
 	return d.classifyExtract(func(pl *features.Pipeline) ([]float64, error) {
 		return pl.ExtractSparse(trace)
 	})
@@ -388,7 +440,7 @@ func (d *Disassembler) remapGroup(gf []float64, gi int) int {
 			best = g
 		}
 	}
-	met.groupRemapped.Inc()
+	met().groupRemapped.Inc()
 	return best
 }
 
@@ -404,7 +456,7 @@ func (d *Disassembler) remapGroupScored(gf []float64, sp ml.ScoredPrediction) ml
 	if !ok {
 		return sp
 	}
-	met.groupRemapped.Inc()
+	met().groupRemapped.Inc()
 	return ml.ScoredFromLogScores(scores)
 }
 

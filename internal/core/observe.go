@@ -191,7 +191,7 @@ func (d *Disassembler) classifyScored(trace []float64) (Decision, []float64, err
 		return Decision{}, nil, ErrNotTrained
 	}
 	if err := power.ValidateTrace(trace, d.group.pipe.TraceLen()); err != nil {
-		met.rejected.Inc()
+		met().rejected.Inc()
 		return Decision{}, nil, fmt.Errorf("core: rejecting trace: %w", err)
 	}
 	var (
@@ -199,23 +199,23 @@ func (d *Disassembler) classifyScored(trace []float64) (Decision, []float64, err
 		err error
 	)
 	if d.SparseEnabled() {
-		met.sparseTraces.Inc()
+		met().sparseTraces.Inc()
 		dec, err = d.classifyExtractScored(func(pl *features.Pipeline) ([]float64, error) {
 			return pl.ExtractSparse(trace)
 		})
 	} else {
 		var flat []float64
 		if flat, err = d.group.pipe.RawScalogram(trace); err != nil {
-			met.rejected.Inc()
+			met().rejected.Inc()
 			return Decision{}, nil, fmt.Errorf("core: group features: %w", err)
 		}
 		dec, err = d.classifyScalogramScored(flat)
 	}
 	if err != nil {
-		met.rejected.Inc()
+		met().rejected.Inc()
 		return Decision{}, nil, err
 	}
-	met.classified.Inc()
+	met().classified.Inc()
 	var dv []float64
 	if o := d.observer; o != nil && o.Drift != nil {
 		if dv, err = d.group.pipe.DriftVector(trace); err != nil {
@@ -231,12 +231,12 @@ func (d *Disassembler) feedObserver(dec Decision, driftVec []float64) {
 	if o == nil {
 		return
 	}
-	met.confidence.Observe(dec.Confidence)
+	met().confidence.Observe(dec.Confidence)
 	if driftVec != nil {
 		o.Drift.Observe(driftVec)
 	}
 	if err := o.Log.Record(dec.Record()); err != nil {
-		met.decisionLogErrs.Inc()
+		met().decisionLogErrs.Inc()
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -81,22 +82,35 @@ func (b BankConfig) Validate() error {
 // by reading the delta.
 var transformCount = obs.NewCounter()
 
-// met holds the dsp instrument handles; nil (no-op) until a registry is
-// installed with obs.SetDefault.
-var met struct {
+// dspMetrics holds the dsp instrument handles; the handles are nil (no-op)
+// under a nil registry. The live set is swapped atomically by the OnDefault
+// hook so obs.SetDefault can rebind while transforms run.
+type dspMetrics struct {
 	planBuilds *obs.Counter // dsp.cwt.plan_cache.builds — FFT plans built
 	planHits   *obs.Counter // dsp.cwt.plan_cache.hits — plans served from cache
 	poolReuses *obs.Counter // dsp.cwt.pool.reuses — scratch buffers recycled
 	poolAllocs *obs.Counter // dsp.cwt.pool.allocs — scratch buffers allocated
 }
 
+var metPtr atomic.Pointer[dspMetrics]
+
+// met returns the current handle set; never nil.
+func met() *dspMetrics {
+	if m := metPtr.Load(); m != nil {
+		return m
+	}
+	return &dspMetrics{}
+}
+
 func init() {
 	obs.OnDefault(func(r *obs.Registry) {
 		r.Attach("dsp.cwt.transforms", transformCount)
-		met.planBuilds = r.Counter("dsp.cwt.plan_cache.builds")
-		met.planHits = r.Counter("dsp.cwt.plan_cache.hits")
-		met.poolReuses = r.Counter("dsp.cwt.pool.reuses")
-		met.poolAllocs = r.Counter("dsp.cwt.pool.allocs")
+		metPtr.Store(&dspMetrics{
+			planBuilds: r.Counter("dsp.cwt.plan_cache.builds"),
+			planHits:   r.Counter("dsp.cwt.plan_cache.hits"),
+			poolReuses: r.Counter("dsp.cwt.pool.reuses"),
+			poolAllocs: r.Counter("dsp.cwt.pool.allocs"),
+		})
 	})
 }
 
@@ -196,16 +210,16 @@ func (c *CWT) planFor(n int) *cwtPlan {
 	p := c.plans[m]
 	c.planMu.RUnlock()
 	if p != nil {
-		met.planHits.Inc()
+		met().planHits.Inc()
 		return p
 	}
 	c.planMu.Lock()
 	defer c.planMu.Unlock()
 	if p = c.plans[m]; p != nil {
-		met.planHits.Inc()
+		met().planHits.Inc()
 		return p
 	}
-	met.planBuilds.Inc()
+	met().planBuilds.Inc()
 	p = &cwtPlan{m: m, kernelFFTs: make([][]complex128, len(c.kernels))}
 	for j, kern := range c.kernels {
 		fk := make([]complex128, m)
@@ -222,7 +236,7 @@ func (c *CWT) getBuf(m int) []complex128 {
 	if v := c.scratch.Get(); v != nil {
 		b := *(v.(*[]complex128))
 		if cap(b) >= m {
-			met.poolReuses.Inc()
+			met().poolReuses.Inc()
 			b = b[:m]
 			for i := range b {
 				b[i] = 0
@@ -230,7 +244,7 @@ func (c *CWT) getBuf(m int) []complex128 {
 			return b
 		}
 	}
-	met.poolAllocs.Inc()
+	met().poolAllocs.Inc()
 	return make([]complex128, m)
 }
 

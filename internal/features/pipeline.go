@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dsp"
@@ -13,9 +14,10 @@ import (
 	"repro/internal/stats"
 )
 
-// met holds the feature-layer instrument handles; nil (no-op) until a
-// registry is installed with obs.SetDefault.
-var met struct {
+// featMetrics holds the feature-layer instrument handles; the handles are
+// nil (no-op) under a nil registry. The live set is swapped atomically by
+// the OnDefault hook so obs.SetDefault can rebind mid-pipeline.
+type featMetrics struct {
 	cacheHits   *obs.Counter   // features.scalogram_cache.hits — pass-2 reuses
 	cacheMisses *obs.Counter   // features.scalogram_cache.misses — pass-2 recomputes
 	maskSkipped *obs.Counter   // features.mask.skipped — non-finite NVP points dropped
@@ -24,14 +26,26 @@ var met struct {
 	fitSeconds  *obs.Histogram // features.fit.seconds — whole FitPipeline calls
 }
 
+var metPtr atomic.Pointer[featMetrics]
+
+// met returns the current handle set; never nil.
+func met() *featMetrics {
+	if m := metPtr.Load(); m != nil {
+		return m
+	}
+	return &featMetrics{}
+}
+
 func init() {
 	obs.OnDefault(func(r *obs.Registry) {
-		met.cacheHits = r.Counter("features.scalogram_cache.hits")
-		met.cacheMisses = r.Counter("features.scalogram_cache.misses")
-		met.maskSkipped = r.Counter("features.mask.skipped")
-		met.pointsKept = r.Counter("features.points.selected")
-		met.pairSeconds = r.Histogram("features.select_pair.seconds")
-		met.fitSeconds = r.Histogram("features.fit.seconds")
+		metPtr.Store(&featMetrics{
+			cacheHits:   r.Counter("features.scalogram_cache.hits"),
+			cacheMisses: r.Counter("features.scalogram_cache.misses"),
+			maskSkipped: r.Counter("features.mask.skipped"),
+			pointsKept:  r.Counter("features.points.selected"),
+			pairSeconds: r.Histogram("features.select_pair.seconds"),
+			fitSeconds:  r.Histogram("features.fit.seconds"),
+		})
 	})
 }
 
@@ -301,7 +315,7 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 			}
 		}
 		maskSpan.End()
-		met.maskSkipped.Add(int64(pl.MaskSkipped))
+		met().maskSkipped.Add(int64(pl.MaskSkipped))
 	}
 	// Pairwise DNVP selection, parallel over the O(nClasses²) class pairs.
 	// Each pair writes its own slot; the union below walks the slots in the
@@ -320,9 +334,9 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 	selCtx, selSpan := obs.Span(ctx, "features.select_pairs")
 	if err := parallel.ForErrCtx(selCtx, len(jobs), func(i int) error {
 		j := jobs[i]
-		start := timeIfEnabled(met.pairSeconds)
+		start := timeIfEnabled(met().pairSeconds)
 		pf, err := sel.SelectPair(j.a, j.b, classStats[j.a], classStats[j.b], masks[j.a], masks[j.b])
-		observeSince(met.pairSeconds, start)
+		observeSince(met().pairSeconds, start)
 		if err != nil {
 			return err
 		}
@@ -334,7 +348,7 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 	}
 	selSpan.End()
 	points := UnionPoints(pairs)
-	met.pointsKept.Add(int64(len(points)))
+	met().pointsKept.Add(int64(len(points)))
 	pos := map[Point]int{}
 	for i, p := range points {
 		pos[p] = i
@@ -356,7 +370,7 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 	feats := make([][]float64, n)
 	extCtx, extSpan := obs.Span(ctx, "features.extract")
 	if useCache {
-		met.cacheHits.Add(int64(n))
+		met().cacheHits.Add(int64(n))
 		if err := parallel.ForCtx(extCtx, n, func(i int) {
 			feats[i] = pl.pointsFromNormalized(flats[i])
 		}); err != nil {
@@ -364,7 +378,7 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 			return nil, err
 		}
 	} else {
-		met.cacheMisses.Add(int64(n))
+		met().cacheMisses.Add(int64(n))
 		if err := parallel.ForErrCtx(extCtx, n, func(i int) error {
 			f, err := pl.rawFeatures(traces[i])
 			if err != nil {
@@ -401,7 +415,7 @@ func FitPipelineCtx(ctx context.Context, traces [][]float64, labels, programs []
 		return nil, err
 	}
 	pl.pca = pca
-	observeSince(met.fitSeconds, fitStart)
+	observeSince(met().fitSeconds, fitStart)
 	return pl, nil
 }
 

@@ -28,7 +28,7 @@ const minVar = 1e-12
 
 // Fit implements Classifier.
 func (g *GaussianNB) Fit(X [][]float64, y []int) error {
-	defer nbMet.timeFit()()
+	defer nbMet().timeFit()()
 	nc, p, err := validateTraining(X, y)
 	if err != nil {
 		return err
@@ -84,7 +84,7 @@ func (g *GaussianNB) LogPosteriors(x []float64) ([]float64, error) {
 
 // Predict implements Classifier.
 func (g *GaussianNB) Predict(x []float64) (int, error) {
-	nbMet.predicts.Inc()
+	nbMet().predicts.Inc()
 	s, err := g.LogPosteriors(x)
 	if err != nil {
 		return 0, err
@@ -94,7 +94,7 @@ func (g *GaussianNB) Predict(x []float64) (int, error) {
 
 // PredictScored implements ScoredClassifier (softmax of the log posteriors).
 func (g *GaussianNB) PredictScored(x []float64) (ScoredPrediction, error) {
-	nbMet.predicts.Inc()
+	nbMet().predicts.Inc()
 	s, err := g.LogPosteriors(x)
 	if err != nil {
 		return ScoredPrediction{}, err

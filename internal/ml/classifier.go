@@ -153,9 +153,9 @@ func kFoldCVPerm(ctx context.Context, mk func() Classifier, X [][]float64, y []i
 			return err
 		}
 		accs[fold] = acc
-		met.cvFolds.Inc()
-		if met.foldScore != nil {
-			met.foldScore.Observe(acc)
+		met().cvFolds.Inc()
+		if met().foldScore != nil {
+			met().foldScore.Observe(acc)
 		}
 		return nil
 	})

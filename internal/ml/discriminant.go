@@ -30,7 +30,7 @@ func (l *LDA) Name() string { return "LDA" }
 
 // Fit implements Classifier.
 func (l *LDA) Fit(X [][]float64, y []int) error {
-	defer ldaMet.timeFit()()
+	defer ldaMet().timeFit()()
 	nc, p, err := validateTraining(X, y)
 	if err != nil {
 		return err
@@ -95,7 +95,7 @@ func (l *LDA) Scores(x []float64) ([]float64, error) {
 
 // Predict implements Classifier.
 func (l *LDA) Predict(x []float64) (int, error) {
-	ldaMet.predicts.Inc()
+	ldaMet().predicts.Inc()
 	s, err := l.Scores(x)
 	if err != nil {
 		return 0, err
@@ -107,7 +107,7 @@ func (l *LDA) Predict(x []float64) (int, error) {
 // are class log posteriors up to a shared constant, so their softmax is the
 // posterior distribution.
 func (l *LDA) PredictScored(x []float64) (ScoredPrediction, error) {
-	ldaMet.predicts.Inc()
+	ldaMet().predicts.Inc()
 	s, err := l.Scores(x)
 	if err != nil {
 		return ScoredPrediction{}, err
@@ -134,7 +134,7 @@ func (q *QDA) Name() string { return "QDA" }
 
 // Fit implements Classifier.
 func (q *QDA) Fit(X [][]float64, y []int) error {
-	defer qdaMet.timeFit()()
+	defer qdaMet().timeFit()()
 	nc, p, err := validateTraining(X, y)
 	if err != nil {
 		return err
@@ -192,7 +192,7 @@ func (q *QDA) Scores(x []float64) ([]float64, error) {
 
 // Predict implements Classifier.
 func (q *QDA) Predict(x []float64) (int, error) {
-	qdaMet.predicts.Inc()
+	qdaMet().predicts.Inc()
 	s, err := q.Scores(x)
 	if err != nil {
 		return 0, err
@@ -203,7 +203,7 @@ func (q *QDA) Predict(x []float64) (int, error) {
 // PredictScored implements ScoredClassifier (softmax of the quadratic
 // discriminant values — the class posteriors).
 func (q *QDA) PredictScored(x []float64) (ScoredPrediction, error) {
-	qdaMet.predicts.Inc()
+	qdaMet().predicts.Inc()
 	s, err := q.Scores(x)
 	if err != nil {
 		return ScoredPrediction{}, err

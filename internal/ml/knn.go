@@ -25,7 +25,7 @@ func (k *KNN) Name() string { return fmt.Sprintf("%d-NN", k.K) }
 
 // Fit implements Classifier (memorizes the training set).
 func (k *KNN) Fit(X [][]float64, y []int) error {
-	defer knnMet.timeFit()()
+	defer knnMet().timeFit()()
 	if k.K < 1 {
 		return fmt.Errorf("ml: kNN needs k >= 1, got %d", k.K)
 	}
@@ -75,7 +75,7 @@ func (k *KNN) classVotes(x []float64) ([]float64, error) {
 
 // Predict implements Classifier.
 func (k *KNN) Predict(x []float64) (int, error) {
-	knnMet.predicts.Inc()
+	knnMet().predicts.Inc()
 	votes, err := k.classVotes(x)
 	if err != nil {
 		return 0, err
@@ -86,7 +86,7 @@ func (k *KNN) Predict(x []float64) (int, error) {
 // PredictScored implements ScoredClassifier: the confidence is the neighbor
 // vote fraction (votes for the winning class over k).
 func (k *KNN) PredictScored(x []float64) (ScoredPrediction, error) {
-	knnMet.predicts.Inc()
+	knnMet().predicts.Inc()
 	votes, err := k.classVotes(x)
 	if err != nil {
 		return ScoredPrediction{}, err

@@ -1,14 +1,15 @@
 package ml
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 )
 
 // clfMetrics bundles the per-classifier instrument handles. All handles are
-// nil (no-op) until a registry is installed with obs.SetDefault, so the
-// disabled path costs one nil check per Fit and one per Predict.
+// nil (no-op) under a nil registry, so the disabled path costs one nil check
+// per Fit and one per Predict.
 type clfMetrics struct {
 	fits     *obs.Counter   // ml.<kind>.fits
 	predicts *obs.Counter   // ml.<kind>.predicts
@@ -30,31 +31,51 @@ func (m *clfMetrics) timeFit() func() {
 
 var noopEnd = func() {}
 
-// Per-algorithm handles plus the cross-validation / grid-search instruments.
-var (
-	ldaMet, qdaMet, nbMet, knnMet, svmMet clfMetrics
+// mlMetrics is the package's full handle set: per-algorithm instruments plus
+// the cross-validation / grid-search ones. The live set is swapped
+// atomically by the OnDefault hook, so obs.SetDefault can rebind while fits
+// and predictions run on other goroutines.
+type mlMetrics struct {
+	lda, qda, nb, knn, svm clfMetrics
 
-	met struct {
-		cvFolds   *obs.Counter   // ml.cv.folds — CV folds evaluated
-		foldScore *obs.Histogram // ml.cv.fold_accuracy — per-fold validation accuracy
-		gridCells *obs.Counter   // ml.svm.grid_cells — (C, γ) cells scored
+	cvFolds   *obs.Counter   // ml.cv.folds — CV folds evaluated
+	foldScore *obs.Histogram // ml.cv.fold_accuracy — per-fold validation accuracy
+	gridCells *obs.Counter   // ml.svm.grid_cells — (C, γ) cells scored
+}
+
+var metPtr atomic.Pointer[mlMetrics]
+
+// met returns the current handle set; never nil.
+func met() *mlMetrics {
+	if m := metPtr.Load(); m != nil {
+		return m
 	}
-)
+	return &mlMetrics{}
+}
+
+// Per-algorithm accessors, so call sites read like the handles they bind.
+func ldaMet() *clfMetrics { return &met().lda }
+func qdaMet() *clfMetrics { return &met().qda }
+func nbMet() *clfMetrics  { return &met().nb }
+func knnMet() *clfMetrics { return &met().knn }
+func svmMet() *clfMetrics { return &met().svm }
 
 func init() {
 	obs.OnDefault(func(r *obs.Registry) {
-		bind := func(m *clfMetrics, kind string) {
-			m.fits = r.Counter("ml." + kind + ".fits")
-			m.predicts = r.Counter("ml." + kind + ".predicts")
-			m.fitSec = r.HistogramWith("ml."+kind+".fit.seconds", obs.DurationBuckets())
+		m := &mlMetrics{}
+		bind := func(cm *clfMetrics, kind string) {
+			cm.fits = r.Counter("ml." + kind + ".fits")
+			cm.predicts = r.Counter("ml." + kind + ".predicts")
+			cm.fitSec = r.HistogramWith("ml."+kind+".fit.seconds", obs.DurationBuckets())
 		}
-		bind(&ldaMet, "lda")
-		bind(&qdaMet, "qda")
-		bind(&nbMet, "bayes")
-		bind(&knnMet, "knn")
-		bind(&svmMet, "svm")
-		met.cvFolds = r.Counter("ml.cv.folds")
-		met.foldScore = r.HistogramWith("ml.cv.fold_accuracy", obs.UnitBuckets())
-		met.gridCells = r.Counter("ml.svm.grid_cells")
+		bind(&m.lda, "lda")
+		bind(&m.qda, "qda")
+		bind(&m.nb, "bayes")
+		bind(&m.knn, "knn")
+		bind(&m.svm, "svm")
+		m.cvFolds = r.Counter("ml.cv.folds")
+		m.foldScore = r.HistogramWith("ml.cv.fold_accuracy", obs.UnitBuckets())
+		m.gridCells = r.Counter("ml.svm.grid_cells")
+		metPtr.Store(m)
 	})
 }

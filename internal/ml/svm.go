@@ -195,7 +195,7 @@ func (s *SVM) Name() string { return fmt.Sprintf("SVM(C=%g,%s)", s.C, s.Kernel.N
 
 // Fit implements Classifier.
 func (s *SVM) Fit(X [][]float64, y []int) error {
-	defer svmMet.timeFit()()
+	defer svmMet().timeFit()()
 	if s.C <= 0 {
 		return fmt.Errorf("ml: SVM needs C > 0, got %g", s.C)
 	}
@@ -264,7 +264,7 @@ func (s *SVM) voteTally(x []float64) (votes []int, margin []float64, err error) 
 
 // Predict implements Classifier.
 func (s *SVM) Predict(x []float64) (int, error) {
-	svmMet.predicts.Inc()
+	svmMet().predicts.Inc()
 	votes, margin, err := s.voteTally(x)
 	if err != nil {
 		return 0, err
@@ -284,7 +284,7 @@ func (s *SVM) Predict(x []float64) (int, error) {
 // Predict's votes-then-margin tie-break exactly while still exposing how
 // decisively the winner won.
 func (s *SVM) PredictScored(x []float64) (ScoredPrediction, error) {
-	svmMet.predicts.Inc()
+	svmMet().predicts.Inc()
 	votes, margin, err := s.voteTally(x)
 	if err != nil {
 		return ScoredPrediction{}, err
@@ -354,7 +354,7 @@ func GridSearchSVMCtx(ctx context.Context, X [][]float64, y []int, cs, gammas []
 			return err
 		}
 		scores[i] = score
-		met.gridCells.Inc()
+		met().gridCells.Inc()
 		slog.Debug("svm grid cell scored", "C", cl.c, "gamma", cl.g, "cv_accuracy", score)
 		return nil
 	})

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // DecisionLevel is one hierarchy level's scored outcome inside a
@@ -85,11 +86,11 @@ func (l *DecisionLog) Record(rec DecisionRecord) error {
 	defer l.mu.Unlock()
 	l.seen++
 	rec.Seq = l.seen
-	obsMet.decisionsSeen.Inc()
+	obsMet().decisionsSeen.Inc()
 	if (l.seen-1)%l.sample != 0 {
 		return nil
 	}
-	obsMet.decisionsLogged.Inc()
+	obsMet().decisionsLogged.Inc()
 	return l.enc.Encode(&rec)
 }
 
@@ -111,10 +112,11 @@ func (l *DecisionLog) Close() error {
 	return l.closer.Close()
 }
 
-// obsMet holds the obs package's own instrument handles (span drops,
-// decision log volume, drift state), rebound by OnDefault like every other
-// instrumented package.
-var obsMet struct {
+// obsMetrics holds the obs package's own instrument handles (span drops,
+// decision log volume, drift state). The live set is swapped atomically by
+// the OnDefault hook, so SetDefault can rebind while spans end and decisions
+// record on other goroutines.
+type obsMetrics struct {
 	spansDropped    *Counter
 	decisionsSeen   *Counter
 	decisionsLogged *Counter
@@ -125,15 +127,28 @@ var obsMet struct {
 	driftScoreHist  *Histogram
 }
 
+var obsMetPtr atomic.Pointer[obsMetrics]
+
+// obsMet returns the current handle set; never nil (before the init hook
+// runs, or under a nil registry, the handles themselves are nil no-ops).
+func obsMet() *obsMetrics {
+	if m := obsMetPtr.Load(); m != nil {
+		return m
+	}
+	return &obsMetrics{}
+}
+
 func init() {
 	OnDefault(func(r *Registry) {
-		obsMet.spansDropped = r.Counter("obs.spans.dropped")
-		obsMet.decisionsSeen = r.Counter("obs.decisions.seen")
-		obsMet.decisionsLogged = r.Counter("obs.decisions.logged")
-		obsMet.driftWindows = r.Counter("obs.drift.windows")
-		obsMet.driftScore = r.Gauge("obs.drift.score")
-		obsMet.driftZMax = r.Gauge("obs.drift.zmax")
-		obsMet.driftAlert = r.Gauge("obs.drift.alert")
-		obsMet.driftScoreHist = r.HistogramWith("obs.drift.score.window", UnitBuckets())
+		obsMetPtr.Store(&obsMetrics{
+			spansDropped:    r.Counter("obs.spans.dropped"),
+			decisionsSeen:   r.Counter("obs.decisions.seen"),
+			decisionsLogged: r.Counter("obs.decisions.logged"),
+			driftWindows:    r.Counter("obs.drift.windows"),
+			driftScore:      r.Gauge("obs.drift.score"),
+			driftZMax:       r.Gauge("obs.drift.zmax"),
+			driftAlert:      r.Gauge("obs.drift.alert"),
+			driftScoreHist:  r.HistogramWith("obs.drift.score.window", UnitBuckets()),
+		})
 	})
 }

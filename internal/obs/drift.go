@@ -230,11 +230,12 @@ func (d *DriftMonitor) evaluateLocked() {
 	default:
 		d.state = DriftOK
 	}
-	obsMet.driftWindows.Inc()
-	obsMet.driftScore.Set(score)
-	obsMet.driftZMax.Set(maxZ)
-	obsMet.driftAlert.Set(float64(d.state))
-	obsMet.driftScoreHist.Observe(score)
+	m := obsMet()
+	m.driftWindows.Inc()
+	m.driftScore.Set(score)
+	m.driftZMax.Set(maxZ)
+	m.driftAlert.Set(float64(d.state))
+	m.driftScoreHist.Observe(score)
 }
 
 // symmetricKLGaussian is the symmetric Kullback–Leibler divergence between

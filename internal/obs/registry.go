@@ -17,10 +17,14 @@
 //     only instrument creation and snapshots, never updates.
 //
 // Installation: packages register an OnDefault hook at init that resolves
-// their instrument handles; SetDefault(registry) re-runs every hook.
-// SetDefault must be called while no instrumented pipeline work is running
-// (normally once at process start) — handle reads are deliberately
-// unsynchronized on the hot path.
+// their instrument handles; SetDefault(registry) re-runs every hook. Each
+// instrumented package keeps its handle set behind an atomic pointer that
+// the hook swaps wholesale, so SetDefault is safe to call while pipeline
+// work is running on other goroutines: in-flight operations finish against
+// the handle set they loaded, new operations see the new one. A long-running
+// server still normally installs its registry once at startup — rebinding
+// mid-run is safe, not free: updates racing a swap land in whichever
+// registry's instrument they loaded first.
 package obs
 
 import (
@@ -251,6 +255,10 @@ var (
 	defaultReg atomic.Pointer[Registry]
 	hookMu     sync.Mutex
 	hooks      []func(*Registry)
+	// setMu serializes whole SetDefault calls so two concurrent installs
+	// cannot interleave their hook runs and leave different packages bound
+	// to different registries.
+	setMu sync.Mutex
 )
 
 // Default returns the installed registry, or nil when observability is
@@ -258,9 +266,13 @@ var (
 func Default() *Registry { return defaultReg.Load() }
 
 // SetDefault installs r (nil disables) and re-runs every OnDefault hook so
-// packages re-resolve their instrument handles. Call it only while no
-// instrumented pipeline work is running — typically once at process start.
+// packages re-resolve their instrument handles. Safe to call concurrently
+// with instrumented pipeline work: every package swaps its handle set
+// atomically, so racing updates land in either the old or the new registry,
+// never in a torn handle set. Typically still called once at process start.
 func SetDefault(r *Registry) {
+	setMu.Lock()
+	defer setMu.Unlock()
 	defaultReg.Store(r)
 	hookMu.Lock()
 	hs := make([]func(*Registry), len(hooks))

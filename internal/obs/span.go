@@ -39,6 +39,25 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped.Load()
 }
 
+// Reset discards every recorded span, clears the drop count and re-anchors
+// the tracer at the current time, so one tracer can be reused across many
+// runs (or requests) without accumulating spans for the process lifetime —
+// without it, a long-running server fills the MaxSpans cap once and then
+// silently drops every span while holding the full buffer forever. Spans
+// still in flight when Reset is called land in the post-reset buffer; their
+// timings are valid, only their start offsets predate the new anchor. No-op
+// on a nil tracer.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.start = time.Now()
+	t.mu.Unlock()
+	t.dropped.Store(0)
+}
+
 type ctxKey int
 
 const (
@@ -147,7 +166,7 @@ func (s *SpanHandle) End() {
 		t.spans = append(t.spans, s)
 	} else {
 		t.dropped.Add(1)
-		obsMet.spansDropped.Inc()
+		obsMet().spansDropped.Inc()
 	}
 	t.mu.Unlock()
 }

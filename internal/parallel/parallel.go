@@ -28,11 +28,13 @@ import (
 // configured is the requested worker count; <= 0 selects runtime.NumCPU().
 var configured atomic.Int64
 
-// met holds the pool's instrument handles; nil (no-op) until a registry is
-// installed. When enabled, every loop body is timed so the busy time — per
-// stage (attributed to the context span) and process-wide — quantifies
-// worker utilization. When disabled the per-index overhead is two nil checks.
-var met struct {
+// poolMetrics holds the pool's instrument handles; the handles are nil
+// (no-op) under a nil registry. When enabled, every loop body is timed so
+// the busy time — per stage (attributed to the context span) and
+// process-wide — quantifies worker utilization. The live set is swapped
+// atomically by the OnDefault hook, so obs.SetDefault is safe to call while
+// loops run: each loop binds its handle set once at entry.
+type poolMetrics struct {
 	loops   *obs.Counter // parallel.loops — For/ForErr/ForCtx/ForErrCtx calls
 	tasks   *obs.Counter // parallel.tasks — loop bodies executed
 	busyNS  *obs.Counter // parallel.busy_ns — summed body wall time
@@ -40,14 +42,27 @@ var met struct {
 	workers *obs.Gauge   // parallel.workers — effective pool size
 }
 
+var metPtr atomic.Pointer[poolMetrics]
+
+// met returns the current handle set; never nil.
+func met() *poolMetrics {
+	if m := metPtr.Load(); m != nil {
+		return m
+	}
+	return &poolMetrics{}
+}
+
 func init() {
 	obs.OnDefault(func(r *obs.Registry) {
-		met.loops = r.Counter("parallel.loops")
-		met.tasks = r.Counter("parallel.tasks")
-		met.busyNS = r.Counter("parallel.busy_ns")
-		met.cancels = r.Counter("parallel.cancellations")
-		met.workers = r.Gauge("parallel.workers")
-		met.workers.Set(float64(Workers()))
+		m := &poolMetrics{
+			loops:   r.Counter("parallel.loops"),
+			tasks:   r.Counter("parallel.tasks"),
+			busyNS:  r.Counter("parallel.busy_ns"),
+			cancels: r.Counter("parallel.cancellations"),
+			workers: r.Gauge("parallel.workers"),
+		}
+		m.workers.Set(float64(Workers()))
+		metPtr.Store(m)
 	})
 }
 
@@ -58,7 +73,7 @@ func SetWorkers(n int) {
 		n = 0
 	}
 	configured.Store(int64(n))
-	met.workers.Set(float64(Workers()))
+	met().workers.Set(float64(Workers()))
 }
 
 // Workers returns the effective worker count (always >= 1).
@@ -78,14 +93,15 @@ func For(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	met.loops.Inc()
-	if met.tasks != nil {
+	m := met()
+	m.loops.Inc()
+	if m.tasks != nil {
 		inner := fn
 		fn = func(i int) {
 			start := time.Now()
 			inner(i)
-			met.tasks.Inc()
-			met.busyNS.Add(int64(time.Since(start)))
+			m.tasks.Inc()
+			m.busyNS.Add(int64(time.Since(start)))
 		}
 	}
 	w := Workers()
@@ -154,7 +170,8 @@ func ForErrCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	met.loops.Inc()
+	m := met()
+	m.loops.Inc()
 	w := Workers()
 	if w > n {
 		w = n
@@ -163,15 +180,15 @@ func ForErrCtx(ctx context.Context, n int, fn func(i int) error) error {
 	// enclosing stage span (worker utilization in the trace tree). Enabled
 	// only when a registry or a tracer span is live; otherwise the loop body
 	// runs unwrapped.
-	if sp := obs.ContextSpan(ctx); sp != nil || met.tasks != nil {
+	if sp := obs.ContextSpan(ctx); sp != nil || m.tasks != nil {
 		sp.NoteWorkers(w)
 		inner := fn
 		fn = func(i int) error {
 			start := time.Now()
 			err := inner(i)
 			d := time.Since(start)
-			met.tasks.Inc()
-			met.busyNS.Add(int64(d))
+			m.tasks.Inc()
+			m.busyNS.Add(int64(d))
 			sp.AddBusy(d)
 			return err
 		}
@@ -179,7 +196,7 @@ func ForErrCtx(ctx context.Context, n int, fn func(i int) error) error {
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
-				met.cancels.Inc()
+				m.cancels.Inc()
 				return err
 			}
 			if err := fn(i); err != nil {
@@ -187,7 +204,7 @@ func ForErrCtx(ctx context.Context, n int, fn func(i int) error) error {
 			}
 		}
 		if err := ctx.Err(); err != nil {
-			met.cancels.Inc()
+			m.cancels.Inc()
 			return err
 		}
 		return nil
@@ -234,7 +251,7 @@ func ForErrCtx(ctx context.Context, n int, fn func(i int) error) error {
 		return firstErr
 	}
 	if err := ctx.Err(); err != nil {
-		met.cancels.Inc()
+		m.cancels.Inc()
 		return err
 	}
 	return nil

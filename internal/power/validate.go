@@ -5,26 +5,40 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
-// met holds the validation instrument handles; nil (no-op) until a registry
-// is installed with obs.SetDefault.
-var met struct {
+// valMetrics holds the validation instrument handles; the handles are nil
+// (no-op) under a nil registry. The live set is swapped atomically by the
+// OnDefault hook so obs.SetDefault can rebind while traces validate.
+type valMetrics struct {
 	checked     *obs.Counter // power.validate.checked
 	nonFinite   *obs.Counter // power.validate.rejected_non_finite
 	constant    *obs.Counter // power.validate.rejected_constant
 	wrongLength *obs.Counter // power.validate.rejected_wrong_length
 }
 
+var metPtr atomic.Pointer[valMetrics]
+
+// met returns the current handle set; never nil.
+func met() *valMetrics {
+	if m := metPtr.Load(); m != nil {
+		return m
+	}
+	return &valMetrics{}
+}
+
 func init() {
 	obs.OnDefault(func(r *obs.Registry) {
-		met.checked = r.Counter("power.validate.checked")
-		met.nonFinite = r.Counter("power.validate.rejected_non_finite")
-		met.constant = r.Counter("power.validate.rejected_constant")
-		met.wrongLength = r.Counter("power.validate.rejected_wrong_length")
+		metPtr.Store(&valMetrics{
+			checked:     r.Counter("power.validate.checked"),
+			nonFinite:   r.Counter("power.validate.rejected_non_finite"),
+			constant:    r.Counter("power.validate.rejected_constant"),
+			wrongLength: r.Counter("power.validate.rejected_wrong_length"),
+		})
 	})
 }
 
@@ -109,19 +123,19 @@ func (r ValidationReport) String() string {
 // count files err into the report (and the registry, when one is installed);
 // returns false for a nil error.
 func (r *ValidationReport) count(err error) bool {
-	met.checked.Inc()
+	met().checked.Inc()
 	switch {
 	case err == nil:
 		return false
 	case errors.Is(err, ErrNonFiniteTrace):
 		r.NonFinite++
-		met.nonFinite.Inc()
+		met().nonFinite.Inc()
 	case errors.Is(err, ErrTraceLength):
 		r.WrongLength++
-		met.wrongLength.Inc()
+		met().wrongLength.Inc()
 	default: // ErrConstantTrace and anything future lands here conservatively
 		r.Constant++
-		met.constant.Inc()
+		met().constant.Inc()
 	}
 	return true
 }

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/avr"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/power"
+)
+
+// The shared fixture trains two small disassemblers once per test process:
+// a current (v3, sparse-capable) template and a legacy-normalization one
+// (NormScalogram, sparse-incapable — the on-disk shape of old template
+// files), plus a matched trace batch and its serial decode as the reference
+// labels every handler response must reproduce bitwise.
+var fx struct {
+	once     sync.Once
+	tpl      []byte
+	legacy   []byte
+	traces   [][]float64
+	want     []string
+	traceLen int
+	err      error
+}
+
+func fixtureConfig() core.TrainerConfig {
+	cfg := core.DefaultTrainerConfig()
+	cfg.Programs = 4
+	cfg.TracesPerProgram = 20
+	cfg.RegisterPrograms = 0
+	cfg.RegisterTracesPerProgram = 0
+	return cfg
+}
+
+var fixtureClasses = []avr.Class{avr.OpADC, avr.OpAND}
+
+func fixture(t *testing.T) {
+	t.Helper()
+	fx.once.Do(func() {
+		cfg := fixtureConfig()
+		d, err := core.TrainSubset(cfg, fixtureClasses, false)
+		if err != nil {
+			fx.err = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			fx.err = err
+			return
+		}
+		fx.tpl = buf.Bytes()
+		fx.traceLen = d.TraceLen()
+
+		legacyCfg := cfg
+		legacyCfg.Pipeline.NormMode = features.NormScalogram
+		ld, err := core.TrainSubset(legacyCfg, fixtureClasses, false)
+		if err != nil {
+			fx.err = err
+			return
+		}
+		if ld.SparseCapable() {
+			fx.err = errTestFixture("legacy-normalization template is sparse-capable; fixture premise broken")
+			return
+		}
+		var lbuf bytes.Buffer
+		if err := ld.Save(&lbuf); err != nil {
+			fx.err = err
+			return
+		}
+		fx.legacy = lbuf.Bytes()
+
+		camp, err := power.NewCampaign(cfg.Power, 0, 7117)
+		if err != nil {
+			fx.err = err
+			return
+		}
+		rng := rand.New(rand.NewSource(41))
+		prog := power.NewProgramEnv(cfg.Power, 7117, 5)
+		var stream []avr.Instruction
+		for _, cl := range fixtureClasses {
+			for i := 0; i < 4; i++ {
+				stream = append(stream, avr.RandomOperands(rng, cl))
+			}
+		}
+		if fx.traces, err = camp.AcquireSegments(rng, prog, stream); err != nil {
+			fx.err = err
+			return
+		}
+		decs, err := d.Disassemble(fx.traces)
+		if err != nil {
+			fx.err = err
+			return
+		}
+		for _, dec := range decs {
+			fx.want = append(fx.want, dec.String())
+		}
+	})
+	if fx.err != nil {
+		t.Fatal(fx.err)
+	}
+}
+
+type errTestFixture string
+
+func (e errTestFixture) Error() string { return string(e) }
+
+// writeTemplate drops the fixture template bytes into dir under name.tpl.
+func writeTemplate(t *testing.T, dir, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, name+TemplateExt)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// newTestRegistry builds a registry over a fresh temp dir holding the
+// current fixture template as "demo".
+func newTestRegistry(t *testing.T, cfg RegistryConfig) (*Registry, string) {
+	t.Helper()
+	fixture(t)
+	dir := t.TempDir()
+	writeTemplate(t, dir, "demo", fx.tpl)
+	reg, err := NewRegistry(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, dir
+}

@@ -1,0 +1,281 @@
+// Package serve turns the batch disassembler into a long-running service:
+// a versioned registry of trained template files behind an HTTP API, with
+// admission control, per-template drift monitoring and hot reload.
+//
+// The obs scoping rules a server needs differ from a CLI run: the metrics
+// registry is installed once at startup (obs.SetDefault is safe to call
+// while work runs since the atomic handle-swap rework, but the server never
+// needs to), tracers are per-request (created only when a request asks for
+// one and discarded with the response, so no process-lifetime span buffer
+// fills up), and decision/drift sinks hang off each template entry rather
+// than off process globals.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TemplateExt is the file extension the registry scans for. The basename
+// without the extension is the template's name — version it by naming
+// convention ("demo@2.tpl" serves as template "demo@2").
+const TemplateExt = ".tpl"
+
+// ErrUnknownTemplate is returned by Registry.Get for names no scanned file
+// provides — the HTTP layer maps it to 404.
+var ErrUnknownTemplate = errors.New("serve: unknown template")
+
+// RegistryConfig tunes how templates are loaded.
+type RegistryConfig struct {
+	// Sparse is the preferred inference path for every template. SparseOn
+	// degrades per template to the full-CWT path (with a logged warning and
+	// the core.sparse.fallback counter) when a legacy v1/v2 file cannot
+	// support it — one old file must not fail the whole registry.
+	Sparse core.SparseMode
+	// Drift configures each template's covariate-shift monitor. Templates
+	// without a baseline (format v1) serve without one.
+	Drift obs.DriftConfig
+	// Decisions, when non-nil, receives every decision of every template
+	// (sampled inside the log). The log keeps its own sequence numbering.
+	Decisions *obs.DecisionLog
+	// Logger receives load/reload/fallback notices; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+// loaded is the live state of one template once its file has been read.
+type loaded struct {
+	d        *core.Disassembler
+	drift    *obs.DriftMonitor
+	traceLen int
+	sparse   bool // resolved path (SparseEnabled), not the requested mode
+	fellBack bool // requested sparse-on degraded to the full path
+	loadedAt time.Time
+}
+
+// entry is one template file the registry knows about. Loading is lazy: the
+// file is read on the first Get, under the entry's own mutex so a slow load
+// of one template never blocks requests for the others.
+type entry struct {
+	name  string
+	path  string
+	size  int64
+	mtime time.Time
+
+	mu      sync.Mutex
+	state   *loaded
+	loadErr error
+}
+
+// Registry maps template names to lazily loaded, hot-reloadable template
+// files in one directory. All methods are safe for concurrent use.
+type Registry struct {
+	dir string
+	cfg RegistryConfig
+	log *slog.Logger
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry scans dir for *.tpl files and returns a registry serving them.
+// Files are not read yet — loading is lazy — so a directory full of
+// defective files still constructs; the defects surface per template on
+// first use. The scan itself failing (unreadable directory) is an error.
+func NewRegistry(dir string, cfg RegistryConfig) (*Registry, error) {
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	r := &Registry{
+		dir:     dir,
+		cfg:     cfg,
+		log:     cfg.Logger,
+		entries: map[string]*entry{},
+	}
+	if err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reload rescans the directory: new files appear, removed files disappear,
+// and files whose size or mtime changed are marked stale so the next Get
+// re-reads them. In-flight requests keep the Disassembler they already
+// resolved — a reload never invalidates work mid-request. Returns the scan
+// error, if any; individual file defects are per-template, not scan errors.
+func (r *Registry) Reload() error {
+	names, err := os.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("serve: scanning template dir: %w", err)
+	}
+	seen := map[string]bool{}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), TemplateExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a delete; next reload sees the truth
+		}
+		name := strings.TrimSuffix(de.Name(), TemplateExt)
+		seen[name] = true
+		path := filepath.Join(r.dir, de.Name())
+		if e, ok := r.entries[name]; ok {
+			if e.size != info.Size() || !e.mtime.Equal(info.ModTime()) {
+				e.mu.Lock()
+				e.size, e.mtime = info.Size(), info.ModTime()
+				e.state, e.loadErr = nil, nil // stale: reload on next Get
+				e.mu.Unlock()
+				r.log.Info("template changed, will reload", "template", name)
+			}
+			continue
+		}
+		r.entries[name] = &entry{name: name, path: path, size: info.Size(), mtime: info.ModTime()}
+		r.log.Info("template registered", "template", name, "path", path)
+	}
+	for name := range r.entries {
+		if !seen[name] {
+			delete(r.entries, name)
+			r.log.Info("template removed", "template", name)
+		}
+	}
+	return nil
+}
+
+// Names returns the sorted names of every registered template.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup resolves a name to its entry under the read lock.
+func (r *Registry) lookup(name string) (*entry, error) {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTemplate, name)
+	}
+	return e, nil
+}
+
+// Get resolves a template by name, loading its file on first use (and after
+// a reload marked it stale). A defective file yields its load error on every
+// Get until a reload observes a changed file — the error is remembered, not
+// retried per request, so a bad file cannot turn into a disk-thrash loop.
+func (r *Registry) Get(name string) (*loaded, error) {
+	e, err := r.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == nil && e.loadErr == nil {
+		e.state, e.loadErr = r.load(e)
+	}
+	return e.state, e.loadErr
+}
+
+// load reads and wires one template file. Called with the entry lock held.
+func (r *Registry) load(e *entry) (*loaded, error) {
+	f, err := os.Open(e.path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening template %q: %w", e.name, err)
+	}
+	defer f.Close()
+	d, err := core.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading template %q: %w", e.name, err)
+	}
+	st := &loaded{d: d, traceLen: d.TraceLen(), loadedAt: time.Now()}
+	// A legacy (v1/v2) file under -sparse=on degrades to the full path with
+	// a warning instead of failing the load — one old template must not take
+	// the registry down.
+	st.fellBack = d.SetSparseModePreferred(r.cfg.Sparse)
+	if st.fellBack {
+		r.log.Warn("template cannot run the sparse path; serving via the full CWT",
+			"template", e.name, "requested", r.cfg.Sparse.String())
+	}
+	st.sparse = d.SparseEnabled()
+	// Per-template drift monitor; v1 templates lack a baseline and serve
+	// without one.
+	mon, err := d.NewDriftMonitor(r.cfg.Drift)
+	switch {
+	case err == nil:
+		st.drift = mon
+	case errors.Is(err, core.ErrNoDriftBaseline):
+		r.log.Info("template predates drift baselines; drift monitoring disabled", "template", e.name)
+	default:
+		return nil, fmt.Errorf("serve: drift monitor for %q: %w", e.name, err)
+	}
+	if st.drift != nil || r.cfg.Decisions != nil {
+		d.SetObserver(&core.InferenceObserver{Log: r.cfg.Decisions, Drift: st.drift})
+	}
+	r.log.Info("template loaded", "template", e.name,
+		"trace_len", st.traceLen, "sparse", st.sparse, "drift", st.drift != nil)
+	return st, nil
+}
+
+// TemplateStatus is the externally visible state of one registry entry, as
+// reported by /v1/templates.
+type TemplateStatus struct {
+	Name     string             `json:"name"`
+	Loaded   bool               `json:"loaded"`
+	Error    string             `json:"error,omitempty"`
+	TraceLen int                `json:"trace_len,omitempty"`
+	Sparse   bool               `json:"sparse,omitempty"`
+	// SparseFellBack is true when the server preferred the sparse path but
+	// this template could not support it (legacy format).
+	SparseFellBack bool               `json:"sparse_fell_back,omitempty"`
+	LoadedAt       time.Time          `json:"loaded_at,omitempty"`
+	Drift          *obs.DriftSnapshot `json:"drift,omitempty"`
+}
+
+// Statuses reports every template's current state without forcing loads:
+// an entry never requested yet shows Loaded=false with no error.
+func (r *Registry) Statuses() []TemplateStatus {
+	names := r.Names()
+	out := make([]TemplateStatus, 0, len(names))
+	for _, name := range names {
+		e, err := r.lookup(name)
+		if err != nil {
+			continue // removed between Names and lookup
+		}
+		st := TemplateStatus{Name: name}
+		e.mu.Lock()
+		switch {
+		case e.loadErr != nil:
+			st.Error = e.loadErr.Error()
+		case e.state != nil:
+			st.Loaded = true
+			st.TraceLen = e.state.traceLen
+			st.Sparse = e.state.sparse
+			st.SparseFellBack = e.state.fellBack
+			st.LoadedAt = e.state.loadedAt
+			if e.state.drift != nil {
+				snap := e.state.drift.Snapshot()
+				st.Drift = &snap
+			}
+		}
+		e.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}

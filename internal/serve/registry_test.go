@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestRegistryLazyLoadAndStatuses pins the lazy-loading contract: scanning
+// registers names without reading files, the first Get loads, and Statuses
+// reflects the entry lifecycle.
+func TestRegistryLazyLoadAndStatuses(t *testing.T) {
+	reg, _ := newTestRegistry(t, RegistryConfig{})
+	if got := reg.Names(); len(got) != 1 || got[0] != "demo" {
+		t.Fatalf("Names = %v, want [demo]", got)
+	}
+	sts := reg.Statuses()
+	if len(sts) != 1 || sts[0].Loaded {
+		t.Fatalf("template loaded before first Get: %+v", sts)
+	}
+	tpl, err := reg.Get("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.traceLen != fx.traceLen {
+		t.Fatalf("loaded traceLen %d, want %d", tpl.traceLen, fx.traceLen)
+	}
+	sts = reg.Statuses()
+	if !sts[0].Loaded || sts[0].TraceLen != fx.traceLen {
+		t.Fatalf("post-load status %+v", sts[0])
+	}
+	// A v3 template has a drift baseline: the per-template drift state is
+	// exposed in its status.
+	if sts[0].Drift == nil {
+		t.Fatal("loaded v3 template reports no drift state")
+	}
+	if _, err := reg.Get("nope"); !errors.Is(err, ErrUnknownTemplate) {
+		t.Fatalf("unknown template error = %v, want ErrUnknownTemplate", err)
+	}
+}
+
+// TestRegistryBadFileIsolated pins per-template defect isolation: a corrupt
+// file yields a load error on its own Gets and an Error status, while the
+// healthy template keeps serving.
+func TestRegistryBadFileIsolated(t *testing.T) {
+	reg, dir := newTestRegistry(t, RegistryConfig{})
+	writeTemplate(t, dir, "corrupt", []byte("not a gob stream"))
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("corrupt"); err == nil {
+		t.Fatal("corrupt template loaded successfully")
+	}
+	if _, err := reg.Get("demo"); err != nil {
+		t.Fatalf("healthy template failed next to a corrupt one: %v", err)
+	}
+	var corruptStatus, demoStatus *TemplateStatus
+	for i := range reg.Statuses() {
+		st := reg.Statuses()[i]
+		switch st.Name {
+		case "corrupt":
+			s := st
+			corruptStatus = &s
+		case "demo":
+			s := st
+			demoStatus = &s
+		}
+	}
+	if corruptStatus == nil || corruptStatus.Error == "" || corruptStatus.Loaded {
+		t.Fatalf("corrupt status = %+v, want an error", corruptStatus)
+	}
+	if demoStatus == nil || !demoStatus.Loaded {
+		t.Fatalf("demo status = %+v, want loaded", demoStatus)
+	}
+}
+
+// TestRegistryReloadPicksUpChanges pins hot reload: new files appear,
+// removed files disappear, and a rewritten file is re-read on the next Get.
+func TestRegistryReloadPicksUpChanges(t *testing.T) {
+	reg, dir := newTestRegistry(t, RegistryConfig{})
+	if _, err := reg.Get("demo"); err != nil {
+		t.Fatal(err)
+	}
+
+	// New file appears on reload (and not before).
+	writeTemplate(t, dir, "second", fx.tpl)
+	if _, err := reg.Get("second"); !errors.Is(err, ErrUnknownTemplate) {
+		t.Fatalf("unscanned file visible before reload: %v", err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("second"); err != nil {
+		t.Fatalf("new template after reload: %v", err)
+	}
+
+	// A rewritten file is marked stale and re-read. Rewrite demo as a corrupt
+	// file with a distinct mtime so the change is observable.
+	path := filepath.Join(dir, "demo"+TemplateExt)
+	if err := os.WriteFile(path, []byte("now corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("demo"); err == nil {
+		t.Fatal("rewritten (corrupt) template still served from the stale load")
+	}
+
+	// Removed files disappear on reload.
+	if err := os.Remove(filepath.Join(dir, "second"+TemplateExt)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("second"); !errors.Is(err, ErrUnknownTemplate) {
+		t.Fatalf("removed template still resolves: %v", err)
+	}
+}
+
+// TestRegistrySparsePreferenceDegrades pins satellite contract: a registry
+// preferring -sparse=on loads a legacy-normalization template anyway,
+// serving it via the full-CWT path with the fallback recorded in its status,
+// while a capable template in the same directory gets the sparse path.
+func TestRegistrySparsePreferenceDegrades(t *testing.T) {
+	fixture(t)
+	dir := t.TempDir()
+	writeTemplate(t, dir, "demo", fx.tpl)
+	writeTemplate(t, dir, "old", fx.legacy)
+	reg, err := NewRegistry(dir, RegistryConfig{Sparse: core.SparseOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldTpl, err := reg.Get("old")
+	if err != nil {
+		t.Fatalf("legacy template failed to load under -sparse=on: %v", err)
+	}
+	if !oldTpl.fellBack || oldTpl.sparse {
+		t.Fatalf("legacy template state = {fellBack:%v sparse:%v}, want fallback to the full path", oldTpl.fellBack, oldTpl.sparse)
+	}
+	newTpl, err := reg.Get("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newTpl.fellBack || !newTpl.sparse {
+		t.Fatalf("capable template state = {fellBack:%v sparse:%v}, want the sparse path", newTpl.fellBack, newTpl.sparse)
+	}
+	// Both decode the same batch successfully.
+	for _, tpl := range []*loaded{oldTpl, newTpl} {
+		if _, err := tpl.d.Disassemble(fx.traces); err != nil {
+			t.Fatalf("decode failed (sparse=%v): %v", tpl.sparse, err)
+		}
+	}
+	for _, st := range reg.Statuses() {
+		if st.Name == "old" && !st.SparseFellBack {
+			t.Fatalf("legacy status does not report the fallback: %+v", st)
+		}
+		if st.Name == "demo" && st.SparseFellBack {
+			t.Fatalf("capable status reports a fallback: %+v", st)
+		}
+	}
+}

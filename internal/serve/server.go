@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// Config tunes the HTTP front end.
+type Config struct {
+	// MaxInFlight caps concurrently decoded batches; <1 defaults to 2. Each
+	// batch already fans out over the parallel worker pool, so a small number
+	// of in-flight batches saturates the CPUs — more just grows the heap.
+	MaxInFlight int
+	// MaxQueue is how many batches may wait for a decode slot before the
+	// server starts shedding with 429; <0 defaults to 8.
+	MaxQueue int
+	// RetryAfter is the hint sent with 429 responses; <=0 defaults to 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies; <=0 defaults to 256 MiB.
+	MaxBodyBytes int64
+	// Logger receives request-path warnings; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+// Server is the HTTP front end over a template Registry: decode requests,
+// registry introspection, health, metrics and admin reload. Build with
+// NewServer, mount via Handler.
+type Server struct {
+	reg  *Registry
+	adm  *parallel.Admission
+	cfg  Config
+	log  *slog.Logger
+	mux  *http.ServeMux
+	http *http.Server
+}
+
+// NewServer wires a server around reg. The admission gate is created here:
+// one gate for the whole server, shared by every template, because the
+// resource it protects (the worker pool and the heap) is process-wide.
+func NewServer(reg *Registry, cfg Config) *Server {
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 2
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 8
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 256 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		reg: reg,
+		adm: parallel.NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		cfg: cfg,
+		log: cfg.Logger,
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/disassemble/{template}", s.handleDisassemble)
+	s.mux.HandleFunc("GET /v1/templates", s.handleTemplates)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
+	// Built here, not in Serve, so Shutdown from another goroutine never
+	// races the assignment.
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the route tree, for mounting under an http.Server or a
+// test server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Shutdown. Returns http.ErrServerClosed
+// after a clean shutdown, like the underlying http.Server.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve serves on an existing listener until Shutdown — the ":0" path for
+// tests and supervisors that pick the port themselves.
+func (s *Server) Serve(l net.Listener) error {
+	return s.http.Serve(l)
+}
+
+// Shutdown drains the server: the listener closes immediately, in-flight
+// requests run to completion (bounded by ctx), then Shutdown returns. New
+// decode work is not accepted during the drain because the listener is gone.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: msg})
+}
+
+// DecodedInstr is one decoded instruction of a response, with its
+// per-decision confidence record.
+type DecodedInstr struct {
+	Index      int     `json:"index"`
+	Text       string  `json:"text"`
+	Confidence float64 `json:"confidence"`
+	// Levels is the per-hierarchy-level breakdown (group, instr, rd, rr).
+	Levels []obs.DecisionLevel `json:"levels,omitempty"`
+}
+
+// DisassembleResponse is the body of a successful decode.
+type DisassembleResponse struct {
+	Template string         `json:"template"`
+	Count    int            `json:"count"`
+	Sparse   bool           `json:"sparse"`
+	Decoded  []DecodedInstr `json:"decoded"`
+	// Drift is the template's covariate-shift state after this batch, when
+	// the template carries a drift baseline.
+	Drift *obs.DriftSnapshot `json:"drift,omitempty"`
+	// Spans is the request's stage tree, present only with ?trace=1.
+	Spans []*obs.SpanNode `json:"spans,omitempty"`
+}
+
+// disassembleRequest is the JSON decode-request body.
+type disassembleRequest struct {
+	Traces [][]float64 `json:"traces"`
+}
+
+// handleDisassemble decodes one batch of traces against the named template.
+//
+// Bodies: JSON {"traces": [[...], ...]} or, with Content-Type
+// application/octet-stream, a packed little-endian frame — uint32 count,
+// uint32 traceLen, then count*traceLen float64 samples — which skips JSON
+// float formatting for large batches.
+func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("template")
+	tpl, err := s.reg.Get(name)
+	if err != nil {
+		if errors.Is(err, ErrUnknownTemplate) {
+			s.writeError(w, http.StatusNotFound, "unknown template %q", name)
+			return
+		}
+		// The file exists but cannot be served (corrupt, wrong version...):
+		// the template is unavailable, not the request malformed.
+		s.writeError(w, http.StatusServiceUnavailable, "template %q unavailable: %v", name, err)
+		return
+	}
+
+	traces, err := readTraces(r, s.cfg.MaxBodyBytes, tpl.traceLen)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission: bounded in-flight decodes, bounded wait queue, then shed.
+	// The request context bounds the queue wait, so a client that gives up
+	// frees its queue slot immediately.
+	release, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, parallel.ErrOverloaded) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+			s.writeError(w, http.StatusTooManyRequests, "server overloaded: %d decoding, %d queued",
+				s.adm.MaxInFlight(), s.adm.MaxQueue())
+			return
+		}
+		s.writeError(w, http.StatusServiceUnavailable, "canceled while queued: %v", err)
+		return
+	}
+	defer release()
+
+	ctx := r.Context()
+	var tracer *obs.Tracer
+	if r.URL.Query().Get("trace") == "1" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	decs, err := tpl.d.DisassembleScoredCtx(ctx, traces)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Client went away or the server is draining; nobody is reading.
+			s.writeError(w, http.StatusServiceUnavailable, "decode canceled: %v", ctx.Err())
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, "decode failed after %d instructions: %v", len(decs), err)
+		return
+	}
+
+	resp := DisassembleResponse{
+		Template: name,
+		Count:    len(decs),
+		Sparse:   tpl.sparse,
+		Decoded:  make([]DecodedInstr, len(decs)),
+	}
+	for i, dec := range decs {
+		resp.Decoded[i] = DecodedInstr{
+			Index:      i,
+			Text:       dec.Decoded.String(),
+			Confidence: dec.Confidence,
+			Levels:     dec.Levels,
+		}
+	}
+	if tpl.drift != nil {
+		snap := tpl.drift.Snapshot()
+		resp.Drift = &snap
+	}
+	if tracer != nil {
+		resp.Spans = tracer.Tree()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&resp)
+}
+
+// readTraces parses the request body into a trace batch, validating every
+// trace against the template's expected length up front so a malformed batch
+// is rejected before it takes a decode slot.
+func readTraces(r *http.Request, maxBytes int64, traceLen int) ([][]float64, error) {
+	body := http.MaxBytesReader(nil, r.Body, maxBytes)
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		return readBinaryTraces(body, traceLen)
+	}
+	var req disassembleRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if len(req.Traces) == 0 {
+		return nil, errors.New("empty batch: provide at least one trace")
+	}
+	for i, tr := range req.Traces {
+		if len(tr) != traceLen {
+			return nil, fmt.Errorf("trace %d has %d samples, template expects %d", i, len(tr), traceLen)
+		}
+	}
+	return req.Traces, nil
+}
+
+// readBinaryTraces parses the packed little-endian frame: uint32 count,
+// uint32 traceLen, then count*traceLen float64 samples.
+func readBinaryTraces(body io.Reader, traceLen int) ([][]float64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(body, hdr[:]); err != nil {
+		return nil, fmt.Errorf("binary body: reading header: %w", err)
+	}
+	count := binary.LittleEndian.Uint32(hdr[0:4])
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if count == 0 {
+		return nil, errors.New("empty batch: provide at least one trace")
+	}
+	if int(n) != traceLen {
+		return nil, fmt.Errorf("binary header declares %d samples per trace, template expects %d", n, traceLen)
+	}
+	traces := make([][]float64, count)
+	buf := make([]byte, 8*int(n))
+	for i := range traces {
+		if _, err := io.ReadFull(body, buf); err != nil {
+			return nil, fmt.Errorf("binary body: trace %d truncated: %w", i, err)
+		}
+		tr := make([]float64, n)
+		for j := range tr {
+			tr[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		traces[i] = tr
+	}
+	// Trailing bytes mean the header lied about the batch shape.
+	if extra, _ := io.Copy(io.Discard, io.LimitReader(body, 1)); extra > 0 {
+		return nil, errors.New("binary body: trailing bytes after declared batch")
+	}
+	return traces, nil
+}
+
+// handleTemplates reports every registered template's status, including each
+// loaded template's drift state — the per-template drift endpoint.
+func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Templates []TemplateStatus `json:"templates"`
+	}{s.reg.Statuses()})
+}
+
+// handleHealthz is the liveness/readiness probe: 200 once the registry knows
+// at least one template, 503 for an empty registry (nothing can be served).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	status := http.StatusOK
+	if len(names) == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		OK        bool `json:"ok"`
+		Templates int  `json:"templates"`
+		InFlight  int  `json:"in_flight"`
+		Queued    int  `json:"queued"`
+	}{status == http.StatusOK, len(names), s.adm.InFlight(), s.adm.Queued()})
+}
+
+// handleMetrics renders the process obs registry in Prometheus exposition
+// format. The serving instruments (admission gauges, spans dropped, sparse
+// fallbacks, decision counters) all live there via the OnDefault hooks.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := obs.Default()
+	if reg == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no metrics registry installed")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	reg.WritePrometheus(w)
+}
+
+// handleMetricsJSON is the same snapshot as /metrics in JSON.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	reg := obs.Default()
+	if reg == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no metrics registry installed")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	reg.WriteJSON(w)
+}
+
+// handleReload rescans the template directory — the admin twin of SIGHUP.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Reload(); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
+		return
+	}
+	s.handleTemplates(w, r)
+}

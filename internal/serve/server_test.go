@@ -1,0 +1,464 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// newTestServer stands up a Server over a registry holding the fixture
+// template as "demo", returning the server (for white-box admission access)
+// and an httptest base URL.
+func newTestServer(t *testing.T, rcfg RegistryConfig, scfg Config) (*Server, string) {
+	t.Helper()
+	reg, _ := newTestRegistry(t, rcfg)
+	s := NewServer(reg, scfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts.URL
+}
+
+func jsonBody(traces [][]float64) *bytes.Reader {
+	b, err := json.Marshal(disassembleRequest{Traces: traces})
+	if err != nil {
+		panic(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func postJSON(t *testing.T, url string, body io.Reader) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func decodeTexts(t *testing.T, data []byte) ([]string, DisassembleResponse) {
+	t.Helper()
+	var dr DisassembleResponse
+	if err := json.Unmarshal(data, &dr); err != nil {
+		t.Fatalf("response not valid JSON: %v\n%s", err, data)
+	}
+	texts := make([]string, len(dr.Decoded))
+	for i, d := range dr.Decoded {
+		texts[i] = d.Text
+	}
+	return texts, dr
+}
+
+// TestServeDecodeMatchesSerial pins the headline acceptance criterion: the
+// served labels are bitwise-identical to the library's own decode of the
+// same traces, and each decision carries a usable confidence record.
+func TestServeDecodeMatchesSerial(t *testing.T) {
+	_, url := newTestServer(t, RegistryConfig{}, Config{})
+	resp, data := postJSON(t, url+"/v1/disassemble/demo?trace=1", jsonBody(fx.traces))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	texts, dr := decodeTexts(t, data)
+	if len(texts) != len(fx.want) {
+		t.Fatalf("decoded %d instructions, want %d", len(texts), len(fx.want))
+	}
+	for i := range texts {
+		if texts[i] != fx.want[i] {
+			t.Fatalf("decode %d = %q, serial reference %q", i, texts[i], fx.want[i])
+		}
+	}
+	for i, d := range dr.Decoded {
+		if d.Index != i {
+			t.Fatalf("decoded[%d].Index = %d", i, d.Index)
+		}
+		if d.Confidence <= 0 || d.Confidence > 1 {
+			t.Fatalf("decoded[%d] confidence %g outside (0, 1]", i, d.Confidence)
+		}
+		if len(d.Levels) == 0 || d.Levels[0].Level != "group" {
+			t.Fatalf("decoded[%d] has no per-level record: %+v", i, d.Levels)
+		}
+	}
+	if dr.Drift == nil || dr.Drift.State == "" {
+		t.Fatalf("v3 template response carries no drift state: %+v", dr.Drift)
+	}
+	if len(dr.Spans) == 0 {
+		t.Fatal("?trace=1 response carries no span tree")
+	}
+}
+
+// TestServeBinaryBodyMatchesJSON pins the packed-frame input path against
+// the JSON one: same traces, same labels.
+func TestServeBinaryBodyMatchesJSON(t *testing.T) {
+	_, url := newTestServer(t, RegistryConfig{}, Config{})
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(fx.traces)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(fx.traceLen))
+	buf.Write(hdr[:])
+	var s [8]byte
+	for _, tr := range fx.traces {
+		for _, v := range tr {
+			binary.LittleEndian.PutUint64(s[:], math.Float64bits(v))
+			buf.Write(s[:])
+		}
+	}
+	resp, err := http.Post(url+"/v1/disassemble/demo", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	texts, _ := decodeTexts(t, data)
+	for i := range texts {
+		if texts[i] != fx.want[i] {
+			t.Fatalf("binary decode %d = %q, want %q", i, texts[i], fx.want[i])
+		}
+	}
+}
+
+// TestServeRejectsMalformedRequests pins the 4xx mapping: bad JSON, wrong
+// trace length, empty batches and truncated binary frames are 400; unknown
+// templates are 404 — and every error body is structured JSON.
+func TestServeRejectsMalformedRequests(t *testing.T) {
+	_, url := newTestServer(t, RegistryConfig{}, Config{})
+	checkError := func(resp *http.Response, data []byte, wantStatus int, wantFrag string) {
+		t.Helper()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status %d, want %d: %s", resp.StatusCode, wantStatus, data)
+		}
+		var ae apiError
+		if err := json.Unmarshal(data, &ae); err != nil || ae.Error == "" {
+			t.Fatalf("error body not structured JSON: %s", data)
+		}
+		if !strings.Contains(ae.Error, wantFrag) {
+			t.Fatalf("error %q missing %q", ae.Error, wantFrag)
+		}
+	}
+
+	resp, data := postJSON(t, url+"/v1/disassemble/demo", strings.NewReader("{not json"))
+	checkError(resp, data, http.StatusBadRequest, "invalid JSON")
+
+	short := [][]float64{fx.traces[0][:fx.traceLen-3]}
+	resp, data = postJSON(t, url+"/v1/disassemble/demo", jsonBody(short))
+	checkError(resp, data, http.StatusBadRequest, fmt.Sprintf("expects %d", fx.traceLen))
+
+	resp, data = postJSON(t, url+"/v1/disassemble/demo", jsonBody(nil))
+	checkError(resp, data, http.StatusBadRequest, "empty batch")
+
+	resp, data = postJSON(t, url+"/v1/disassemble/ghost", jsonBody(fx.traces))
+	checkError(resp, data, http.StatusNotFound, "unknown template")
+
+	// Binary: header promising more samples than the body carries.
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 2)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(fx.traceLen))
+	buf.Write(hdr[:])
+	buf.Write(make([]byte, 16)) // far short of 2 traces
+	r, err := http.Post(url+"/v1/disassemble/demo", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(r.Body)
+	r.Body.Close()
+	checkError(r, data, http.StatusBadRequest, "truncated")
+}
+
+// TestServeOverloadSheds pins the backpressure contract: with every decode
+// slot held and the queue full, a request is shed with 429 and a
+// Retry-After hint instead of queueing without bound.
+func TestServeOverloadSheds(t *testing.T) {
+	s, url := newTestServer(t, RegistryConfig{}, Config{MaxInFlight: 1, MaxQueue: 0, RetryAfter: 3 * time.Second})
+	// MaxQueue 0: no wait queue, so a held slot makes the next request shed.
+	release, err := s.adm.TryAcquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postJSON(t, url+"/v1/disassemble/demo", jsonBody(fx.traces[:1]))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status with no free slots = %d, want 429: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	release()
+	resp, data = postJSON(t, url+"/v1/disassemble/demo", jsonBody(fx.traces[:1]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after release = %d, want 200: %s", resp.StatusCode, data)
+	}
+}
+
+// TestServeConcurrentRequestsMatchSerial fans 8 concurrent requests at the
+// server (the -race coverage for the whole serving path: shared template,
+// admission gate, per-request observers) and checks every response against
+// the serial reference labels.
+func TestServeConcurrentRequestsMatchSerial(t *testing.T) {
+	_, url := newTestServer(t, RegistryConfig{}, Config{MaxInFlight: 4, MaxQueue: 16})
+	const requests = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for r := 0; r < requests; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(url+"/v1/disassemble/demo", "application/json", jsonBody(fx.traces))
+			if err != nil {
+				errs <- err
+				return
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, data)
+				return
+			}
+			var dr DisassembleResponse
+			if err := json.Unmarshal(data, &dr); err != nil {
+				errs <- err
+				return
+			}
+			for i, d := range dr.Decoded {
+				if d.Text != fx.want[i] {
+					errs <- fmt.Errorf("concurrent decode %d = %q, want %q", i, d.Text, fx.want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServeHealthzTemplatesMetrics pins the introspection endpoints:
+// healthz reflects registry occupancy, /v1/templates lists statuses, and
+// /metrics carries the serving instruments (admission, span drops) in
+// Prometheus exposition format.
+func TestServeHealthzTemplatesMetrics(t *testing.T) {
+	defer obs.SetDefault(nil)
+	obs.SetDefault(obs.NewRegistry())
+	_, url := newTestServer(t, RegistryConfig{}, Config{})
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data
+	}
+
+	resp, data := get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", resp.StatusCode, data)
+	}
+	var hz struct {
+		OK        bool `json:"ok"`
+		Templates int  `json:"templates"`
+	}
+	if err := json.Unmarshal(data, &hz); err != nil || !hz.OK || hz.Templates != 1 {
+		t.Fatalf("healthz body %s (err %v)", data, err)
+	}
+
+	// A decode first, so the admission counters have moved.
+	resp, data = postJSON(t, url+"/v1/disassemble/demo", jsonBody(fx.traces[:1]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decode = %d: %s", resp.StatusCode, data)
+	}
+
+	resp, data = get("/v1/templates")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("templates = %d", resp.StatusCode)
+	}
+	var tl struct {
+		Templates []TemplateStatus `json:"templates"`
+	}
+	if err := json.Unmarshal(data, &tl); err != nil || len(tl.Templates) != 1 || !tl.Templates[0].Loaded {
+		t.Fatalf("templates body %s (err %v)", data, err)
+	}
+	if tl.Templates[0].Drift == nil {
+		t.Fatal("per-template drift state missing from /v1/templates")
+	}
+
+	resp, data = get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	out := string(data)
+	for _, want := range []string{
+		"parallel_admission_admitted",
+		"parallel_admission_inflight",
+		"obs_spans_dropped",
+		"core_traces_classified",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, out)
+		}
+	}
+
+	resp, data = get("/metrics.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics.json = %d", resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics.json not a snapshot: %v", err)
+	}
+	if snap.Counters["parallel.admission.admitted"] < 1 {
+		t.Fatalf("admitted counter = %d after a served decode", snap.Counters["parallel.admission.admitted"])
+	}
+}
+
+// TestServeHealthzEmptyRegistry pins readiness: a server with no templates
+// answers 503, not 200.
+func TestServeHealthzEmptyRegistry(t *testing.T) {
+	reg, err := NewRegistry(t.TempDir(), RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(reg, Config{}).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty-registry healthz = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeAdminReload pins the admin endpoint: a template dropped into the
+// directory is served after POST /admin/reload, without a restart.
+func TestServeAdminReload(t *testing.T) {
+	fixture(t)
+	dir := t.TempDir()
+	writeTemplate(t, dir, "demo", fx.tpl)
+	reg, err := NewRegistry(dir, RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(reg, Config{}).Handler())
+	defer ts.Close()
+
+	writeTemplate(t, dir, "late", fx.tpl)
+	resp, data := postJSON(t, ts.URL+"/v1/disassemble/late", jsonBody(fx.traces[:1]))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unreloaded template = %d, want 404: %s", resp.StatusCode, data)
+	}
+	resp, err = http.Post(ts.URL+"/admin/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload = %d", resp.StatusCode)
+	}
+	resp, data = postJSON(t, ts.URL+"/v1/disassemble/late", jsonBody(fx.traces[:1]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reloaded template = %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestServeGracefulDrain pins shutdown semantics: Shutdown called while a
+// decode is in flight lets that request finish with a full 200 response,
+// and Serve returns http.ErrServerClosed.
+func TestServeGracefulDrain(t *testing.T) {
+	fixture(t)
+	// Full-CWT path (no sparse shortcut) so the decode is slow enough to
+	// still be in flight when Shutdown fires.
+	reg, _ := newTestRegistry(t, RegistryConfig{Sparse: core.SparseOff})
+	s := NewServer(reg, Config{MaxInFlight: 1})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	// A deliberately heavy batch so the decode is still running when
+	// Shutdown fires.
+	big := make([][]float64, 0, 64*len(fx.traces))
+	for i := 0; i < 64; i++ {
+		big = append(big, fx.traces...)
+	}
+	type result struct {
+		status int
+		count  int
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/disassemble/demo", "application/json", jsonBody(big))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var dr DisassembleResponse
+		if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+			resc <- result{status: resp.StatusCode, err: err}
+			return
+		}
+		resc <- result{status: resp.StatusCode, count: dr.Count}
+	}()
+
+	// Wait for the decode to be admitted, then drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.adm.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never entered the admission gate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight request during drain: %v", res.err)
+	}
+	if res.status != http.StatusOK || res.count != len(big) {
+		t.Fatalf("drained request = status %d count %d, want 200/%d", res.status, res.count, len(big))
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	// The listener is gone: new connections are refused.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -64,12 +65,17 @@ type loaded struct {
 
 // entry is one template file the registry knows about. Loading is lazy: the
 // file is read on the first Get, under the entry's own mutex so a slow load
-// of one template never blocks requests for the others.
+// of one template never blocks requests for the others. Reload never takes
+// that mutex — it flips the stale flag, checked by the next Get under mu —
+// so a slow in-flight load cannot stall a reload (and, via the registry
+// lock a reload would otherwise hold, every lookup and health probe).
 type entry struct {
 	name  string
 	path  string
-	size  int64
+	size  int64 // written only under Registry.mu (scan state, not load state)
 	mtime time.Time
+
+	stale atomic.Bool // file changed since the last load; re-read on next Get
 
 	mu      sync.Mutex
 	state   *loaded
@@ -133,10 +139,8 @@ func (r *Registry) Reload() error {
 		path := filepath.Join(r.dir, de.Name())
 		if e, ok := r.entries[name]; ok {
 			if e.size != info.Size() || !e.mtime.Equal(info.ModTime()) {
-				e.mu.Lock()
 				e.size, e.mtime = info.Size(), info.ModTime()
-				e.state, e.loadErr = nil, nil // stale: reload on next Get
-				e.mu.Unlock()
+				e.stale.Store(true) // next Get drops the old state and re-reads
 				r.log.Info("template changed, will reload", "template", name)
 			}
 			continue
@@ -187,6 +191,9 @@ func (r *Registry) Get(name string) (*loaded, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.stale.Swap(false) {
+		e.state, e.loadErr = nil, nil
+	}
 	if e.state == nil && e.loadErr == nil {
 		e.state, e.loadErr = r.load(e)
 	}
@@ -259,7 +266,13 @@ func (r *Registry) Statuses() []TemplateStatus {
 			continue // removed between Names and lookup
 		}
 		st := TemplateStatus{Name: name}
-		e.mu.Lock()
+		// TryLock: an entry mid-load (mutex held by a Get reading the file)
+		// reports as not-yet-loaded instead of stalling the status snapshot
+		// — and /healthz, which is built on it — behind the file read.
+		if !e.mu.TryLock() {
+			out = append(out, st)
+			continue
+		}
 		switch {
 		case e.loadErr != nil:
 			st.Error = e.loadErr.Error()

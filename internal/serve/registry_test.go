@@ -127,6 +127,63 @@ func TestRegistryReloadPicksUpChanges(t *testing.T) {
 	}
 }
 
+// TestRegistryReloadNotBlockedBySlowLoad pins the lock decoupling: a slow
+// lazy load (the entry mutex held, as Get holds it for the file read) must
+// not stall Reload — and with it the registry lock every lookup, Statuses
+// and /healthz need — nor Statuses itself. The reload's staleness mark must
+// still take effect on the next Get.
+func TestRegistryReloadNotBlockedBySlowLoad(t *testing.T) {
+	reg, dir := newTestRegistry(t, RegistryConfig{})
+	if _, err := reg.Get("demo"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.lookup("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock() // stand-in for a Get stuck reading a slow file
+
+	// Rewrite the file (corrupt, future mtime) so Reload wants to mark the
+	// entry stale — the path that used to take e.mu under the registry lock.
+	path := filepath.Join(dir, "demo"+TemplateExt)
+	if err := os.WriteFile(path, []byte("now corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- reg.Reload() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Reload blocked behind a held entry lock")
+	}
+	stses := make(chan []TemplateStatus, 1)
+	go func() { stses <- reg.Statuses() }()
+	select {
+	case sts := <-stses:
+		// The busy entry reports not-yet-loaded rather than its held state.
+		if len(sts) != 1 || sts[0].Loaded || sts[0].Error != "" {
+			t.Fatalf("mid-load status = %+v, want a bare pending entry", sts)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Statuses blocked behind a held entry lock")
+	}
+	e.mu.Unlock()
+
+	// The staleness mark set by the non-blocking Reload forces a re-read:
+	// the rewritten (corrupt) file now fails instead of serving stale state.
+	if _, err := reg.Get("demo"); err == nil {
+		t.Fatal("stale entry not re-read after a reload that raced a load")
+	}
+}
+
 // TestRegistrySparsePreferenceDegrades pins satellite contract: a registry
 // preferring -sparse=on loads a legacy-normalization template anyway,
 // serving it via the full-CWT path with the fallback recorded in its status,

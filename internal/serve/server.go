@@ -175,13 +175,11 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	traces, err := readTraces(r, s.cfg.MaxBodyBytes, tpl.traceLen)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-
-	// Admission: bounded in-flight decodes, bounded wait queue, then shed.
+	// Admission before the body is touched: the gate exists to keep the heap
+	// flat under a burst, and a body can be up to MaxBodyBytes — parsing
+	// outside the gate would let an unbounded number of parsed batches pile
+	// up waiting for decode slots. The trade is that a malformed body holds a
+	// slot for the (brief) parse; under overload it is shed unread with 429.
 	// The request context bounds the queue wait, so a client that gives up
 	// frees its queue slot immediately.
 	release, err := s.adm.Acquire(r.Context())
@@ -196,6 +194,12 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+
+	traces, err := readTraces(r, s.cfg.MaxBodyBytes, tpl.traceLen)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	ctx := r.Context()
 	var tracer *obs.Tracer
@@ -241,11 +245,11 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 
 // readTraces parses the request body into a trace batch, validating every
 // trace against the template's expected length up front so a malformed batch
-// is rejected before it takes a decode slot.
+// is rejected before any decode work starts.
 func readTraces(r *http.Request, maxBytes int64, traceLen int) ([][]float64, error) {
 	body := http.MaxBytesReader(nil, r.Body, maxBytes)
 	if r.Header.Get("Content-Type") == "application/octet-stream" {
-		return readBinaryTraces(body, traceLen)
+		return readBinaryTraces(body, maxBytes, traceLen)
 	}
 	var req disassembleRequest
 	dec := json.NewDecoder(body)
@@ -266,7 +270,7 @@ func readTraces(r *http.Request, maxBytes int64, traceLen int) ([][]float64, err
 
 // readBinaryTraces parses the packed little-endian frame: uint32 count,
 // uint32 traceLen, then count*traceLen float64 samples.
-func readBinaryTraces(body io.Reader, traceLen int) ([][]float64, error) {
+func readBinaryTraces(body io.Reader, maxBytes int64, traceLen int) ([][]float64, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(body, hdr[:]); err != nil {
 		return nil, fmt.Errorf("binary body: reading header: %w", err)
@@ -276,8 +280,15 @@ func readBinaryTraces(body io.Reader, traceLen int) ([][]float64, error) {
 	if count == 0 {
 		return nil, errors.New("empty batch: provide at least one trace")
 	}
-	if int(n) != traceLen {
+	if int(n) != traceLen || n == 0 {
 		return nil, fmt.Errorf("binary header declares %d samples per trace, template expects %d", n, traceLen)
+	}
+	// The header is client-supplied: check the declared batch fits the body
+	// bound before allocating anything sized by it, so a tiny request cannot
+	// declare a multi-gigabyte batch and OOM the server. Division (not
+	// count*n*8 <= maxBytes) keeps the comparison overflow-free.
+	if perTrace := 8 * uint64(n); uint64(maxBytes) < 8 || uint64(count) > (uint64(maxBytes)-8)/perTrace {
+		return nil, fmt.Errorf("binary header declares %d traces of %d samples, exceeding the %d-byte body limit", count, n, maxBytes)
 	}
 	traces := make([][]float64, count)
 	buf := make([]byte, 8*int(n))
@@ -307,12 +318,21 @@ func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
 	}{s.reg.Statuses()})
 }
 
-// handleHealthz is the liveness/readiness probe: 200 once the registry knows
-// at least one template, 503 for an empty registry (nothing can be served).
+// handleHealthz is the liveness/readiness probe: 200 while at least one
+// registered template could plausibly serve, 503 for an empty registry or
+// one where every registered file has already failed to load — readiness
+// must not stay green when the server can answer nothing but 503s. Entries
+// never requested yet (lazy, no load attempted) count as plausibly healthy.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	names := s.reg.Names()
+	sts := s.reg.Statuses()
+	failed := 0
+	for _, st := range sts {
+		if st.Error != "" {
+			failed++
+		}
+	}
 	status := http.StatusOK
-	if len(names) == 0 {
+	if len(sts) == 0 || failed == len(sts) {
 		status = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -320,9 +340,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(struct {
 		OK        bool `json:"ok"`
 		Templates int  `json:"templates"`
+		Failed    int  `json:"failed"`
 		InFlight  int  `json:"in_flight"`
 		Queued    int  `json:"queued"`
-	}{status == http.StatusOK, len(names), s.adm.InFlight(), s.adm.Queued()})
+	}{status == http.StatusOK, len(sts), failed, s.adm.InFlight(), s.adm.Queued()})
 }
 
 // handleMetrics renders the process obs registry in Prometheus exposition

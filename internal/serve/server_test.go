@@ -183,6 +183,19 @@ func TestServeRejectsMalformedRequests(t *testing.T) {
 	data, _ = io.ReadAll(r.Body)
 	r.Body.Close()
 	checkError(r, data, http.StatusBadRequest, "truncated")
+
+	// Binary: a tiny request whose header declares a near-2^32-trace batch
+	// must be rejected by arithmetic on the declared size, not by attempting
+	// a ~100 GB allocation.
+	binary.LittleEndian.PutUint32(hdr[0:4], math.MaxUint32)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(fx.traceLen))
+	r, err = http.Post(url+"/v1/disassemble/demo", "application/octet-stream", bytes.NewReader(hdr[:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(r.Body)
+	r.Body.Close()
+	checkError(r, data, http.StatusBadRequest, "body limit")
 }
 
 // TestServeOverloadSheds pins the backpressure contract: with every decode
@@ -201,6 +214,13 @@ func TestServeOverloadSheds(t *testing.T) {
 	}
 	if got := resp.Header.Get("Retry-After"); got != "3" {
 		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	// Admission runs before the body is read, so an overloaded server sheds
+	// even a malformed body with 429 — it never spends parse work (or heap)
+	// on a request it cannot serve.
+	resp, data = postJSON(t, url+"/v1/disassemble/demo", strings.NewReader("{not json"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded malformed request = %d, want 429 (body must not be parsed outside the gate): %s", resp.StatusCode, data)
 	}
 	release()
 	resp, data = postJSON(t, url+"/v1/disassemble/demo", jsonBody(fx.traces[:1]))
@@ -354,6 +374,54 @@ func TestServeHealthzEmptyRegistry(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("empty-registry healthz = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeHealthzAllTemplatesFailed pins readiness against load failures: a
+// registry whose every file is known-corrupt answers 503, not a green 200
+// while every decode request would be a 503.
+func TestServeHealthzAllTemplatesFailed(t *testing.T) {
+	fixture(t)
+	dir := t.TempDir()
+	writeTemplate(t, dir, "corrupt", []byte("not a template"))
+	reg, err := NewRegistry(dir, RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(reg, Config{}).Handler())
+	defer ts.Close()
+
+	// Lazy loading: before any Get the defect is unknown, so readiness stays
+	// optimistic.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-load healthz = %d, want 200 (defect not yet observed)", resp.StatusCode)
+	}
+
+	// A decode attempt surfaces the load failure; readiness must follow.
+	resp, data := postJSON(t, ts.URL+"/v1/disassemble/corrupt", jsonBody(fx.traces[:1]))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("corrupt-template decode = %d, want 503: %s", resp.StatusCode, data)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-failed healthz = %d, want 503: %s", resp.StatusCode, data)
+	}
+	var hz struct {
+		OK     bool `json:"ok"`
+		Failed int  `json:"failed"`
+	}
+	if err := json.Unmarshal(data, &hz); err != nil || hz.OK || hz.Failed != 1 {
+		t.Fatalf("all-failed healthz body %s (err %v)", data, err)
 	}
 }
 

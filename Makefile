@@ -39,7 +39,7 @@ bench:
 # extraction loses its >=8x edge over the full-FFT path (or grows past its
 # allocation budget).
 bench-compare:
-	BENCH_COMPARE=1 $(GO) test -run 'TestMetricsOverheadBudget|TestDecisionOverheadBudget|TestSparseSpeedupBudget' -v .
+	BENCH_COMPARE=1 $(GO) test -run 'TestMetricsOverheadBudget|TestDecisionOverheadBudget|TestSparseSpeedupBudget|TestLabeledOverheadBudget' -v .
 
 # Every native fuzz target, run briefly from its committed seed corpus. Go
 # allows one -fuzz pattern per invocation, so iterate; -run '^$$' skips the

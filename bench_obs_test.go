@@ -50,6 +50,33 @@ func benchFitObs(b *testing.B, enabled bool) {
 func BenchmarkPipelineFitObsOff(b *testing.B) { benchFitObs(b, false) }
 func BenchmarkPipelineFitObsOn(b *testing.B)  { benchFitObs(b, true) }
 
+// BenchmarkLabeledRequestAccounting times the full per-request labeled
+// instrument bundle the serving middleware performs — one CounterVec Inc,
+// two HistogramVec observes, two byte-size observes, and the in-flight
+// gauge swing — against a live registry with the serving label schema. This
+// is the hot path the cardinality-bounded vec design must keep cheap: every
+// child resolution is an atomic map load (no locks after first use).
+func BenchmarkLabeledRequestAccounting(b *testing.B) {
+	r := obs.NewRegistry()
+	requests := r.CounterVec("scdisd.http.requests.total", "route", "template", "code")
+	latency := r.HistogramVec("scdisd.http.request.seconds", obs.DurationBuckets(), "route", "template")
+	reqBytes := r.HistogramVec("scdisd.http.request.bytes", obs.ByteBuckets(), "route")
+	respBytes := r.HistogramVec("scdisd.http.response.bytes", obs.ByteBuckets(), "route")
+	admWait := r.HistogramVec("scdisd.http.admission.wait.seconds", obs.DurationBuckets(), "template")
+	inflight := r.Gauge("scdisd.http.inflight")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inflight.Add(1)
+		requests.With("disassemble", "demo", "200").Inc()
+		latency.With("disassemble", "demo").Observe(0.0042)
+		reqBytes.With("disassemble").Observe(65536)
+		respBytes.With("disassemble").Observe(2048)
+		admWait.With("demo").Observe(0)
+		inflight.Add(-1)
+	}
+}
+
 // minNsPerOp runs fn `rounds` times via testing.Benchmark and returns the
 // fastest ns/op — the minimum is the standard noise-rejecting statistic for
 // a throughput comparison on a shared machine.
@@ -91,5 +118,30 @@ func TestMetricsOverheadBudget(t *testing.T) {
 		lastOff, lastOn, overhead*100, overheads[0]*100, overheads[rounds-1]*100)
 	if overhead > 0.03 {
 		t.Fatalf("observability overhead %.2f%% exceeds the 3%% budget", overhead*100)
+	}
+}
+
+// TestLabeledOverheadBudget is the labeled-metric bench-compare gate: the
+// whole per-request accounting bundle must cost no more than 3% of one
+// per-trace sparse decode (the smallest unit of billable request work — a
+// real request decodes a batch, so per-request accounting amortizes further)
+// — or, as with TestDecisionOverheadBudget, stay under an absolute 1.5 µs
+// bundle cost, far below what the 3% budget was calibrated to permit on the
+// full-CWT path. Either bound passing means labeling has not regressed the
+// hot path. Env-gated like the other timing gates.
+func TestLabeledOverheadBudget(t *testing.T) {
+	if os.Getenv("BENCH_COMPARE") == "" {
+		t.Skip("set BENCH_COMPARE=1 (or run `make bench-compare`) to enable the overhead gate")
+	}
+	const rounds = 3
+	const bundleBudgetNs = 1500.0
+	bundle := minNsPerOp(rounds, BenchmarkLabeledRequestAccounting)
+	decode := minNsPerOp(rounds, BenchmarkPipelineClassifyOneSparse)
+	frac := bundle / decode
+	fmt.Printf("bench-compare: labeled request bundle %.0f ns, sparse decode %.0f ns/trace, ratio %.2f%% (budget 3%% or %.0f ns absolute)\n",
+		bundle, decode, frac*100, bundleBudgetNs)
+	if frac > 0.03 && bundle > bundleBudgetNs {
+		t.Fatalf("labeled request accounting costs %.0f ns (%.2f%% of a decode); budget is 3%% or %.0f ns",
+			bundle, frac*100, bundleBudgetNs)
 	}
 }

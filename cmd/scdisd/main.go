@@ -17,9 +17,17 @@
 //	                                  count, uint32 LE traceLen, float64 LE
 //	                                  samples); add ?trace=1 for a stage tree
 //	GET  /v1/templates                per-template status incl. drift state
-//	GET  /healthz                     liveness (503 with no templates)
+//	GET  /livez                       liveness (200 while the process runs)
+//	GET  /readyz                      readiness (503 with no loadable
+//	                                  templates or a saturated gate)
+//	GET  /healthz                     readiness alias (compatibility)
 //	GET  /metrics, /metrics.json      process metrics (Prometheus / JSON)
 //	POST /admin/reload                rescan the template directory
+//
+// Observability: every request is counted into labeled metrics
+// (route/template/status), and -access-log writes one JSON line per request.
+// A runtime collector samples goroutines, heap, GC pauses and per-template
+// load/drift state every -runtime-interval.
 //
 // Backpressure: at most -max-inflight batches decode concurrently and at
 // most -max-queue wait; beyond that the server sheds with 429 and a
@@ -32,6 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -63,6 +72,8 @@ func run(args []string) error {
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	accessLog := fs.String("access-log", "", "write one JSON access-log line per request to this file (\"-\" = stdout)")
+	runtimeInterval := fs.Duration("runtime-interval", obs.DefaultRuntimeInterval, "runtime health sampling period (goroutines, heap, GC, per-template state); 0 disables")
 	decisionLog := fs.String("decision-log", "", "write sampled per-classification decision records as JSONL to this file (\"-\" = stdout)")
 	decisionSample := fs.Int("decision-sample", 1, "log 1 in N decisions to -decision-log")
 	driftWindow := fs.Int("drift-window", obs.DefaultDriftWindow, "covariate-shift monitor: sliding window size in traces")
@@ -114,11 +125,35 @@ func run(args []string) error {
 		slog.Info("templates registered", "count", len(names), "names", names)
 	}
 
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening access log: %w", err)
+		}
+		defer f.Close()
+		accessW = f
+	}
+
 	srv := serve.NewServer(reg, serve.Config{
 		MaxInFlight: *maxInFlight,
 		MaxQueue:    *maxQueue,
 		RetryAfter:  *retryAfter,
+		AccessLog:   accessW,
 	})
+
+	// Runtime health sampling, with per-template load/drift state riding the
+	// same tick so /metrics reflects registry state without a request.
+	if *runtimeInterval > 0 {
+		collector := obs.NewRuntimeCollector(obs.Default(), *runtimeInterval)
+		collector.AddSampler(reg.PublishMetrics)
+		collector.Start()
+		defer collector.Stop()
+	}
 
 	// SIGHUP rescans the template directory; SIGINT/SIGTERM drains and exits.
 	hup := make(chan os.Signal, 1)
@@ -130,6 +165,7 @@ func run(args []string) error {
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 	slog.Info("scdisd listening", "addr", *addr, "templates", *templates,
 		"max_inflight", *maxInFlight, "max_queue", *maxQueue)
+	slog.Info("health endpoints: /livez is liveness (process up), /readyz is readiness (templates loadable, gate not saturated); /healthz aliases /readyz")
 
 	for {
 		select {

@@ -1,0 +1,15 @@
+//go:build linux
+
+package obs
+
+import "os"
+
+// countOpenFDs returns the number of open file descriptors by listing
+// /proc/self/fd, or -1 when the proc filesystem is unavailable.
+func countOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}

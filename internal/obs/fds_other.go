@@ -1,0 +1,8 @@
+//go:build !linux
+
+package obs
+
+// countOpenFDs reports -1: no portable file-descriptor count here, so the
+// runtime collector omits the process.open_fds gauge entirely rather than
+// publishing a lie.
+func countOpenFDs() int { return -1 }

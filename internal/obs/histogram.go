@@ -27,6 +27,12 @@ func UnitBuckets() BucketLayout {
 	return BucketLayout{Min: 1e-4, Growth: math.Pow(10, 1.0/12), NumBuckets: 64}
 }
 
+// ByteBuckets is a layout for payload sizes in bytes: 64 B to ~4 GiB in 52
+// buckets (growth ≈ 1.41, two buckets per power of two).
+func ByteBuckets() BucketLayout {
+	return BucketLayout{Min: 64, Growth: math.Pow(2, 0.5), NumBuckets: 52}
+}
+
 // Histogram is a streaming fixed-bucket histogram safe for concurrent
 // Observe calls from any number of goroutines; every update is a handful of
 // atomic operations, no locks. A nil *Histogram is a valid no-op instrument.

@@ -1,0 +1,323 @@
+package obs
+
+// Labeled instruments: CounterVec, GaugeVec and HistogramVec give one named
+// metric a small fixed label schema (e.g. template/route/code) and a child
+// instrument per distinct label-value combination — what a server needs to
+// answer "which template is slow" from one /metrics scrape.
+//
+// Design rules, matching the unlabeled instruments:
+//
+//   - Lock-free on the hot path: the child map lives behind an atomic
+//     pointer. Resolving an existing child is one map read plus the child's
+//     own atomic update; only the first observation of a NEW label set takes
+//     the vec mutex (copy-on-write insert).
+//   - Bounded cardinality: label values are caller data (template names come
+//     off the filesystem, routes off the mux, codes off the response), and a
+//     hostile or buggy caller must not grow the process heap one child per
+//     unique value. Each vec holds at most its limit of children
+//     (DefaultLabelLimit); past that, new label sets collapse into a single
+//     reserved child whose every label value is "other", and each collapsed
+//     observation bumps obs.labels.dropped. A flood of unique values
+//     therefore costs one child plus a counter, not unbounded memory — the
+//     trade is that every over-limit observation takes the insert mutex to
+//     re-check, so a sustained flood serializes there (still O(1) memory).
+//   - Nil-safe: a nil vec (from a nil registry) hands out nil children,
+//     which are the usual no-op instruments.
+//
+// Rendering: the Prometheus exposition writes real label syntax with values
+// escaped per the text format (backslash, quote, newline); Snapshot/JSON/
+// manifests nest children under the vec name keyed by the canonical
+// `key="value",...` string, so both views agree on identity.
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultLabelLimit is the per-vec child bound: at most this many distinct
+// label sets get their own child; further sets collapse into the "other"
+// child and count into obs.labels.dropped.
+const DefaultLabelLimit = 512
+
+// labelSep joins label values into the child-map key. 0xFF never appears in
+// valid UTF-8, so joined values cannot collide.
+const labelSep = "\xff"
+
+// overflowValue is the label value every key takes on the collapsed child.
+const overflowValue = "other"
+
+// vecCore is the shared machinery of the three vec kinds.
+type vecCore[T any] struct {
+	name     string
+	keys     []string
+	limit    int
+	newChild func() *T
+	dropped  *Counter // obs.labels.dropped, shared across the registry
+
+	children atomic.Pointer[map[string]*T]
+	mu       sync.Mutex // guards copy-on-write inserts only
+	otherKey string
+}
+
+func newVecCore[T any](name string, keys []string, dropped *Counter, newChild func() *T) *vecCore[T] {
+	v := &vecCore[T]{
+		name:     name,
+		keys:     append([]string(nil), keys...),
+		limit:    DefaultLabelLimit,
+		newChild: newChild,
+		dropped:  dropped,
+	}
+	other := make([]string, len(keys))
+	for i := range other {
+		other[i] = overflowValue
+	}
+	v.otherKey = strings.Join(other, labelSep)
+	m := map[string]*T{}
+	v.children.Store(&m)
+	return v
+}
+
+// with resolves the child for values, creating it under the cardinality
+// guard. Returns nil only on a nil vec.
+func (v *vecCore[T]) with(values []string) *T {
+	if v == nil {
+		return nil
+	}
+	key := v.otherKey
+	if len(values) == len(v.keys) {
+		key = strings.Join(values, labelSep)
+	} else {
+		// Arity mismatch is a programming error at the call site; collapse
+		// into "other" rather than panicking on the serving hot path.
+		v.dropped.Inc()
+	}
+	m := v.children.Load()
+	if c, ok := (*m)[key]; ok {
+		return c
+	}
+	return v.insert(key)
+}
+
+// insert adds the child for key under the mutex, collapsing into the "other"
+// child when the vec is at its limit.
+func (v *vecCore[T]) insert(key string) *T {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	m := *v.children.Load()
+	if c, ok := m[key]; ok {
+		return c
+	}
+	if len(m) >= v.limit && key != v.otherKey {
+		v.dropped.Inc()
+		key = v.otherKey
+		if c, ok := m[key]; ok {
+			return c
+		}
+	}
+	nm := make(map[string]*T, len(m)+1)
+	for k, c := range m {
+		nm[k] = c
+	}
+	c := v.newChild()
+	nm[key] = c
+	v.children.Store(&nm)
+	return c
+}
+
+// snapshot returns the children keyed by canonical label rendering, mapped
+// through take (which must read the child atomically).
+func snapshotVec[T, S any](v *vecCore[T], take func(*T) S) map[string]S {
+	m := v.children.Load()
+	out := make(map[string]S, len(*m))
+	for key, c := range *m {
+		out[renderLabelPairs(v.keys, strings.Split(key, labelSep))] = take(c)
+	}
+	return out
+}
+
+// renderLabelPairs renders `key="value",...` with Prometheus text-format
+// escaping — the canonical child identity used by both the exposition and
+// the JSON snapshot.
+func renderLabelPairs(keys, values []string) string {
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promLabelName(k))
+		b.WriteString(`="`)
+		val := overflowValue
+		if i < len(values) {
+			val = values[i]
+		}
+		b.WriteString(escapeLabelValue(val))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// format: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabelName maps a label key to a Prometheus-legal label name
+// ([a-zA-Z_][a-zA-Z0-9_]*).
+func promLabelName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// CounterVec is a counter family keyed by a fixed label schema.
+type CounterVec struct{ core *vecCore[Counter] }
+
+// With resolves the child counter for the given label values (one per key,
+// in declaration order). Nil-safe: a nil vec returns a nil (no-op) counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(values)
+}
+
+// GaugeVec is a gauge family keyed by a fixed label schema.
+type GaugeVec struct{ core *vecCore[Gauge] }
+
+// With resolves the child gauge for the given label values. Nil-safe.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(values)
+}
+
+// HistogramVec is a histogram family keyed by a fixed label schema; every
+// child shares the vec's bucket layout.
+type HistogramVec struct{ core *vecCore[Histogram] }
+
+// With resolves the child histogram for the given label values. Nil-safe.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(values)
+}
+
+// CounterVec returns the named counter family with the given label keys,
+// creating it on first use. The first creation wins: later calls return the
+// existing vec regardless of the keys passed. Returns nil on a nil registry.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.cvecs[name]
+	if v == nil {
+		v = &CounterVec{core: newVecCore(name, keys, r.labelsDroppedLocked(), NewCounter)}
+		r.cvecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge family, creating it on first use. First
+// creation wins. Returns nil on a nil registry.
+func (r *Registry) GaugeVec(name string, keys ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.gvecs[name]
+	if v == nil {
+		v = &GaugeVec{core: newVecCore(name, keys, r.labelsDroppedLocked(), NewGauge)}
+		r.gvecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family with the given bucket
+// layout, creating it on first use. First creation wins (keys and layout).
+// Returns nil on a nil registry.
+func (r *Registry) HistogramVec(name string, layout BucketLayout, keys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.hvecs[name]
+	if v == nil {
+		v = &HistogramVec{core: newVecCore(name, keys, r.labelsDroppedLocked(), func() *Histogram {
+			return NewHistogram(layout)
+		})}
+		r.hvecs[name] = v
+	}
+	return v
+}
+
+// labelsDroppedLocked resolves the registry-wide cardinality-overflow
+// counter. Caller holds r.mu.
+func (r *Registry) labelsDroppedLocked() *Counter {
+	c := r.counters["obs.labels.dropped"]
+	if c == nil {
+		c = NewCounter()
+		r.counters["obs.labels.dropped"] = c
+	}
+	return c
+}
+
+// labeledSnapshotLocked fills the labeled sections of a snapshot. Caller
+// holds r.mu.
+func (r *Registry) labeledSnapshotLocked(s *Snapshot) {
+	if len(r.cvecs) > 0 {
+		s.LabeledCounters = make(map[string]map[string]int64, len(r.cvecs))
+		for name, v := range r.cvecs {
+			s.LabeledCounters[name] = snapshotVec(v.core, (*Counter).Value)
+		}
+	}
+	if len(r.gvecs) > 0 {
+		s.LabeledGauges = make(map[string]map[string]float64, len(r.gvecs))
+		for name, v := range r.gvecs {
+			s.LabeledGauges[name] = snapshotVec(v.core, (*Gauge).Value)
+		}
+	}
+	if len(r.hvecs) > 0 {
+		s.LabeledHistograms = make(map[string]map[string]HistogramSnapshot, len(r.hvecs))
+		for name, v := range r.hvecs {
+			s.LabeledHistograms[name] = snapshotVec(v.core, (*Histogram).Snapshot)
+		}
+	}
+}

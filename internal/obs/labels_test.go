@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("http.requests", "route", "code")
+	if cv.With("disassemble", "200") != cv.With("disassemble", "200") {
+		t.Fatal("same label values resolved to different children")
+	}
+	if cv.With("disassemble", "200") == cv.With("disassemble", "500") {
+		t.Fatal("different label values resolved to the same child")
+	}
+	if r.CounterVec("http.requests", "ignored") != cv {
+		t.Fatal("same vec name resolved to a different vec")
+	}
+	gv := r.GaugeVec("g", "k")
+	if gv.With("a") != gv.With("a") {
+		t.Fatal("gauge children differ")
+	}
+	hv := r.HistogramVec("h", DurationBuckets(), "k")
+	if hv.With("a") != hv.With("a") {
+		t.Fatal("histogram children differ")
+	}
+}
+
+func TestVecNilSafety(t *testing.T) {
+	var r *Registry
+	cv := r.CounterVec("c", "k")
+	gv := r.GaugeVec("g", "k")
+	hv := r.HistogramVec("h", DurationBuckets(), "k")
+	if cv != nil || gv != nil || hv != nil {
+		t.Fatal("nil registry handed out live vecs")
+	}
+	cv.With("x").Inc()
+	gv.With("x").Set(1)
+	hv.With("x").Observe(1)
+	if cv.With("x").Value() != 0 {
+		t.Fatal("nil vec child has a value")
+	}
+}
+
+func TestVecSnapshotNesting(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("http.requests", "route", "code").With("disassemble", "200").Add(3)
+	r.GaugeVec("tmpl.loaded", "template").With("avr").Set(1)
+	r.HistogramVec("http.seconds", DurationBuckets(), "route").With("metrics").Observe(0.01)
+
+	s := r.Snapshot()
+	if got := s.LabeledCounters["http.requests"][`route="disassemble",code="200"`]; got != 3 {
+		t.Fatalf("labeled counter = %v (snapshot %+v)", got, s.LabeledCounters)
+	}
+	if got := s.LabeledGauges["tmpl.loaded"][`template="avr"`]; got != 1 {
+		t.Fatalf("labeled gauge = %v", got)
+	}
+	if got := s.LabeledHistograms["http.seconds"][`route="metrics"`]; got.Count != 1 {
+		t.Fatalf("labeled histogram = %+v", got)
+	}
+}
+
+// Flooding a vec with unique label values must collapse into the "other"
+// child instead of growing without bound — the cardinality guard of the
+// acceptance criteria.
+func TestVecCardinalityFloodCollapses(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("flood", "template")
+	const n = DefaultLabelLimit + 1000
+	for i := 0; i < n; i++ {
+		cv.With(fmt.Sprintf("tmpl-%d", i)).Inc()
+	}
+	children := *cv.core.children.Load()
+	if len(children) > DefaultLabelLimit+1 {
+		t.Fatalf("flood grew the child map to %d entries (limit %d)", len(children), DefaultLabelLimit)
+	}
+	s := r.Snapshot()
+	other := s.LabeledCounters["flood"][`template="other"`]
+	if other != 1000 {
+		t.Fatalf("other child absorbed %d observations, want 1000", other)
+	}
+	if s.Counters["obs.labels.dropped"] != 1000 {
+		t.Fatalf("obs.labels.dropped = %d, want 1000", s.Counters["obs.labels.dropped"])
+	}
+	// The collapsed child keeps counting, still bumping dropped.
+	cv.With("one-more").Inc()
+	if v := r.Snapshot().LabeledCounters["flood"][`template="other"`]; v != 1001 {
+		t.Fatalf("post-flood observation lost: other = %v", v)
+	}
+}
+
+// Passing the wrong number of label values is a call-site bug; it must land
+// in "other" and count as dropped rather than panic on the serving path.
+func TestVecArityMismatchCollapses(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("m", "a", "b")
+	cv.With("only-one").Inc()
+	s := r.Snapshot()
+	if got := s.LabeledCounters["m"][`a="other",b="other"`]; got != 1 {
+		t.Fatalf("arity mismatch child = %v (%+v)", got, s.LabeledCounters)
+	}
+	if s.Counters["obs.labels.dropped"] != 1 {
+		t.Fatalf("dropped = %d", s.Counters["obs.labels.dropped"])
+	}
+}
+
+func TestVecConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("conc", "worker")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				cv.With(fmt.Sprintf("w%d", w%4)).Inc()
+				if i%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range r.Snapshot().LabeledCounters["conc"] {
+		total += v
+	}
+	if total != 8*500 {
+		t.Fatalf("lost updates: total = %d, want %d", total, 8*500)
+	}
+}
+
+// Label values are caller data (template names come off the filesystem) and
+// must be escaped per the Prometheus text format.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc", "template").With("a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc{template="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+	}
+	// Had the newline leaked unescaped, the broken second half would fail the
+	// line-format check.
+	checkPromFormat(t, buf.String())
+}
+
+// Two renders of the same registry must be byte-identical, and labeled
+// children must come out sorted.
+func TestPrometheusStableOrdering(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("ord", "route", "code")
+	for _, l := range [][2]string{{"z", "500"}, {"a", "200"}, {"m", "404"}, {"a", "500"}} {
+		cv.With(l[0], l[1]).Inc()
+	}
+	r.Counter("plain.z").Inc()
+	r.Counter("plain.a").Inc()
+	r.HistogramVec("ord.seconds", DurationBuckets(), "route").With("a").Observe(0.1)
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two renders of the same registry differ")
+	}
+	za := strings.Index(a.String(), `ord{route="a",code="200"}`)
+	zz := strings.Index(a.String(), `ord{route="z",code="500"}`)
+	if za < 0 || zz < 0 || za > zz {
+		t.Fatalf("labeled children not sorted:\n%s", a.String())
+	}
+}
+
+// promtool-style line-format check in pure Go: every line of the exposition
+// must be a comment or a syntactically valid sample with legal metric/label
+// names, balanced quotes, and a parseable value.
+var (
+	promCommentRe = regexp.MustCompile(`^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*$`)
+	promSampleRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$`)
+)
+
+func checkPromFormat(t *testing.T, out string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !promCommentRe.MatchString(line) {
+				t.Fatalf("line %d: malformed comment %q", i+1, line)
+			}
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		name := line
+		if j := strings.IndexAny(name, "{ "); j >= 0 {
+			name = name[:j]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !typed[name] && !typed[base] {
+			t.Fatalf("line %d: sample %q precedes its TYPE line", i+1, name)
+		}
+	}
+}
+
+func TestPrometheusLineFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain.counter").Add(2)
+	r.Gauge("plain.gauge").Set(-1.5)
+	r.Histogram("plain.hist").Observe(0.003)
+	r.CounterVec("lab.counter", "template", "code").With("t\"1", "200").Inc()
+	r.GaugeVec("lab.gauge", "template").With("t\\2").Set(3)
+	r.HistogramVec("lab.hist.seconds", DurationBuckets(), "route").With("dis\nasm").Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkPromFormat(t, buf.String())
+}

@@ -11,7 +11,11 @@ import (
 // gauges, and histograms to summaries (quantile series plus _sum/_count) —
 // the fixed-bucket layout already reduced the data, so summaries carry the
 // same information with far fewer series than native histogram buckets.
-// Metric names have characters outside [a-zA-Z0-9_:] replaced by '_'.
+// Labeled families render with real label syntax (`name{key="value",...}`)
+// with values escaped per the format (backslash, quote, newline); a
+// HistogramVec child's quantile label joins its own labels. Metric names
+// have characters outside [a-zA-Z0-9_:] replaced by '_'. Output ordering is
+// deterministic: sections in a fixed order, names and label sets sorted.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	if s == nil {
@@ -23,29 +27,85 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	for _, name := range sortedKeys(s.LabeledCounters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
+			return err
+		}
+		children := s.LabeledCounters[name]
+		for _, labels := range sortedKeys(children) {
+			if _, err := fmt.Fprintf(w, "%s{%s} %d\n", pn, labels, children[labels]); err != nil {
+				return err
+			}
+		}
+	}
 	for _, name := range sortedKeys(s.Gauges) {
 		pn := promName(name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
+	for _, name := range sortedKeys(s.LabeledGauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+			return err
+		}
+		children := s.LabeledGauges[name]
+		for _, labels := range sortedKeys(children) {
+			if _, err := fmt.Fprintf(w, "%s{%s} %g\n", pn, labels, children[labels]); err != nil {
+				return err
+			}
+		}
+	}
 	for _, name := range sortedKeys(s.Histograms) {
-		h := s.Histograms[name]
+		if err := writePromSummary(w, promName(name), "", s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.LabeledHistograms) {
 		pn := promName(name)
 		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
 			return err
 		}
-		for _, q := range []struct {
-			q string
-			v float64
-		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
-			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", pn, q.q, q.v); err != nil {
+		children := s.LabeledHistograms[name]
+		for _, labels := range sortedKeys(children) {
+			if err := writePromSummaryseries(w, pn, labels, children[labels]); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", pn, h.Sum, pn, h.Count); err != nil {
+	}
+	return nil
+}
+
+// writePromSummary writes the TYPE line and series of one summary.
+func writePromSummary(w io.Writer, pn, labels string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+		return err
+	}
+	return writePromSummaryseries(w, pn, labels, h)
+}
+
+// writePromSummaryseries writes the quantile/_sum/_count series of one
+// summary child. labels is the pre-rendered `key="value",...` string (empty
+// for unlabeled histograms); the quantile label is appended to it.
+func writePromSummaryseries(w io.Writer, pn, labels string, h HistogramSnapshot) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, q := range []struct {
+		q string
+		v float64
+	}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+		if _, err := fmt.Fprintf(w, "%s{%s%squantile=%q} %g\n", pn, labels, sep, q.q, q.v); err != nil {
 			return err
 		}
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", pn, labels, h.Sum, pn, labels, h.Count); err != nil {
+		return err
 	}
 	return nil
 }

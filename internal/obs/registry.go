@@ -71,6 +71,10 @@ type Gauge struct {
 	bits atomic.Uint64
 }
 
+// NewGauge returns a standalone, always-live gauge. Attach it to a registry
+// with Registry.AttachGauge to include it in snapshots.
+func NewGauge() *Gauge { return &Gauge{} }
+
 // Set stores v. Non-finite values are clamped to 0 so no NaN/Inf can leak
 // into snapshots or manifests. No-op on a nil receiver.
 func (g *Gauge) Set(v float64) {
@@ -117,6 +121,9 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	cvecs    map[string]*CounterVec
+	gvecs    map[string]*GaugeVec
+	hvecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
@@ -125,6 +132,9 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		cvecs:    map[string]*CounterVec{},
+		gvecs:    map[string]*GaugeVec{},
+		hvecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -153,6 +163,30 @@ func (r *Registry) Attach(name string, c *Counter) {
 	}
 	r.mu.Lock()
 	r.counters[name] = c
+	r.mu.Unlock()
+}
+
+// AttachGauge registers an externally created (always-live) gauge under
+// name — the gauge analogue of Attach, so process-lifetime values owned by
+// another subsystem join snapshots. No-op on a nil registry.
+func (r *Registry) AttachGauge(name string, g *Gauge) {
+	if r == nil || g == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// AttachHistogram registers an externally created (always-live) histogram
+// under name, so distributions accumulated outside any registry join
+// snapshots. No-op on a nil registry.
+func (r *Registry) AttachHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hists[name] = h
 	r.mu.Unlock()
 }
 
@@ -196,10 +230,15 @@ func (r *Registry) HistogramWith(name string, layout BucketLayout) *Histogram {
 
 // Snapshot is a point-in-time, JSON-serializable view of every instrument.
 // Maps serialize with sorted keys, so the JSON field order is stable.
+// Labeled instruments nest: vec name → canonical `key="value",...` label
+// string → child value, the same identity the Prometheus exposition renders.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]float64           `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters          map[string]int64                        `json:"counters,omitempty"`
+	Gauges            map[string]float64                      `json:"gauges,omitempty"`
+	Histograms        map[string]HistogramSnapshot            `json:"histograms,omitempty"`
+	LabeledCounters   map[string]map[string]int64             `json:"labeled_counters,omitempty"`
+	LabeledGauges     map[string]map[string]float64           `json:"labeled_gauges,omitempty"`
+	LabeledHistograms map[string]map[string]HistogramSnapshot `json:"labeled_histograms,omitempty"`
 }
 
 // Snapshot captures the current value of every instrument. Safe to call
@@ -225,6 +264,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
 	}
+	r.labeledSnapshotLocked(s)
 	return s
 }
 

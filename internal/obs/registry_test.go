@@ -64,6 +64,43 @@ func TestRegistryCreateOnFirstUseAndAttach(t *testing.T) {
 	}
 }
 
+// Attach has gauge and histogram analogues so always-live instruments of all
+// three kinds can join snapshots.
+func TestAttachGaugeAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	g := NewGauge()
+	g.Set(4.25)
+	r.AttachGauge("ext.gauge", g)
+	h := NewHistogram(UnitBuckets())
+	h.Observe(0.5)
+	h.Observe(0.25)
+	r.AttachHistogram("ext.hist", h)
+
+	s := r.Snapshot()
+	if s.Gauges["ext.gauge"] != 4.25 {
+		t.Fatalf("attached gauge = %v", s.Gauges["ext.gauge"])
+	}
+	if hs := s.Histograms["ext.hist"]; hs.Count != 2 || hs.Sum != 0.75 {
+		t.Fatalf("attached histogram = %+v", hs)
+	}
+	// Updates through the original handles stay visible.
+	g.Set(1)
+	h.Observe(0.1)
+	s = r.Snapshot()
+	if s.Gauges["ext.gauge"] != 1 || s.Histograms["ext.hist"].Count != 3 {
+		t.Fatal("attached instruments detached from their handles")
+	}
+	// Nil-safe in both directions.
+	var nr *Registry
+	nr.AttachGauge("x", g)
+	nr.AttachHistogram("x", h)
+	r.AttachGauge("nil", nil)
+	r.AttachHistogram("nil", nil)
+	if _, ok := r.Snapshot().Gauges["nil"]; ok {
+		t.Fatal("nil instrument attached")
+	}
+}
+
 // Gauges clamp non-finite stores so NaN can never leak into a snapshot.
 func TestGaugeClampsNonFinite(t *testing.T) {
 	r := NewRegistry()

@@ -205,15 +205,15 @@ func (s *SpanHandle) NoteWorkers(w int) {
 // milliseconds; Utilization is busy/(wall·workers) in [0, 1] when parallel
 // loop work was attributed to the span.
 type SpanNode struct {
-	Name        string      `json:"name"`
-	StartMS     float64     `json:"start_ms"`
-	WallMS      float64     `json:"wall_ms"`
-	CPUMS       float64     `json:"cpu_ms,omitempty"`
-	BusyMS      float64     `json:"busy_ms,omitempty"`
-	Workers     int         `json:"workers,omitempty"`
-	Utilization float64     `json:"utilization,omitempty"`
+	Name        string             `json:"name"`
+	StartMS     float64            `json:"start_ms"`
+	WallMS      float64            `json:"wall_ms"`
+	CPUMS       float64            `json:"cpu_ms,omitempty"`
+	BusyMS      float64            `json:"busy_ms,omitempty"`
+	Workers     int                `json:"workers,omitempty"`
+	Utilization float64            `json:"utilization,omitempty"`
 	Attrs       map[string]float64 `json:"attrs,omitempty"`
-	Children    []*SpanNode `json:"children,omitempty"`
+	Children    []*SpanNode        `json:"children,omitempty"`
 }
 
 // Tree assembles the recorded spans into root-level nodes ordered by start

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -19,11 +20,12 @@ var ErrOverloaded = errors.New("parallel: admission queue full")
 // admMetrics holds the admission instrument handles; swapped atomically by
 // the OnDefault hook like every instrumented package.
 type admMetrics struct {
-	admitted *obs.Counter // parallel.admission.admitted — acquisitions granted
-	rejected *obs.Counter // parallel.admission.rejected — ErrOverloaded rejections
-	canceled *obs.Counter // parallel.admission.canceled — waits abandoned via ctx
-	inflight *obs.Gauge   // parallel.admission.inflight — slots currently held
-	queued   *obs.Gauge   // parallel.admission.queued — waiters currently queued
+	admitted *obs.Counter   // parallel.admission.admitted — acquisitions granted
+	rejected *obs.Counter   // parallel.admission.rejected — ErrOverloaded rejections
+	canceled *obs.Counter   // parallel.admission.canceled — waits abandoned via ctx
+	inflight *obs.Gauge     // parallel.admission.inflight — slots currently held
+	queued   *obs.Gauge     // parallel.admission.queued — waiters currently queued
+	wait     *obs.Histogram // parallel.admission.wait.seconds — time from Acquire to admit
 }
 
 var admMetPtr atomic.Pointer[admMetrics]
@@ -43,6 +45,7 @@ func init() {
 			canceled: r.Counter("parallel.admission.canceled"),
 			inflight: r.Gauge("parallel.admission.inflight"),
 			queued:   r.Gauge("parallel.admission.queued"),
+			wait:     r.Histogram("parallel.admission.wait.seconds"),
 		})
 	})
 }
@@ -106,11 +109,14 @@ func (a *Admission) Queued() int { return int(a.queue.Load()) }
 //   - ctx.Err() when the context is done before a slot frees up.
 func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	m := admMet()
-	// Fast path: a slot is free right now.
+	// Fast path: a slot is free right now. The wait histogram records a zero
+	// so its quantiles reflect every admitted request, not just queued ones —
+	// without the cost of a clock read on the uncontended path.
 	select {
 	case <-a.slots:
 		m.admitted.Inc()
 		m.inflight.Set(float64(a.InFlight()))
+		m.wait.Observe(0)
 		return a.releaseFunc(), nil
 	default:
 	}
@@ -130,15 +136,25 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 		a.queue.Add(-1)
 		m.queued.Set(float64(a.Queued()))
 	}()
+	start := time.Now()
 	select {
 	case <-a.slots:
 		m.admitted.Inc()
 		m.inflight.Set(float64(a.InFlight()))
+		m.wait.Observe(time.Since(start).Seconds())
 		return a.releaseFunc(), nil
 	case <-ctx.Done():
 		m.canceled.Inc()
 		return nil, ctx.Err()
 	}
+}
+
+// Saturated reports whether the gate would shed the next Acquire: every slot
+// held and the wait queue at its depth limit. Readiness probes use this —
+// a saturated gate means new work gets 429s, so the instance should be
+// pulled from rotation rather than fed more traffic.
+func (a *Admission) Saturated() bool {
+	return a.InFlight() >= a.max && a.Queued() >= a.maxQ
 }
 
 // TryAcquire is Acquire without waiting: it claims a free slot or returns

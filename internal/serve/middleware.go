@@ -1,0 +1,222 @@
+package serve
+
+// HTTP request telemetry: every route is wrapped in instrument(), which
+// assigns a request ID, counts the request into the labeled serving metrics
+// (route/template/status), times it, sizes both directions, and emits one
+// structured JSON access-log line. The handler contributes request-scoped
+// detail (traces decoded, admission wait, decode duration) through the
+// reqStats carried in the context.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// srvMetrics holds the serving instrument handles, swapped atomically by the
+// OnDefault hook like every instrumented package.
+type srvMetrics struct {
+	requests   *obs.CounterVec   // scdisd.http.requests.total{route,template,code}
+	latency    *obs.HistogramVec // scdisd.http.request.seconds{route,template}
+	reqBytes   *obs.HistogramVec // scdisd.http.request.bytes{route}
+	respBytes  *obs.HistogramVec // scdisd.http.response.bytes{route}
+	admWait    *obs.HistogramVec // scdisd.http.admission.wait.seconds{template}
+	inflight   *obs.Gauge        // scdisd.http.inflight — requests currently in a handler
+	driftState *obs.GaugeVec     // scdisd.template.drift.state{template} (0 ok, 1 warn, 2 critical)
+	driftScore *obs.GaugeVec     // scdisd.template.drift.score{template}
+}
+
+var srvMetPtr atomic.Pointer[srvMetrics]
+
+func srvMet() *srvMetrics {
+	if m := srvMetPtr.Load(); m != nil {
+		return m
+	}
+	return &srvMetrics{}
+}
+
+func init() {
+	obs.OnDefault(func(r *obs.Registry) {
+		srvMetPtr.Store(&srvMetrics{
+			requests:   r.CounterVec("scdisd.http.requests.total", "route", "template", "code"),
+			latency:    r.HistogramVec("scdisd.http.request.seconds", obs.DurationBuckets(), "route", "template"),
+			reqBytes:   r.HistogramVec("scdisd.http.request.bytes", obs.ByteBuckets(), "route"),
+			respBytes:  r.HistogramVec("scdisd.http.response.bytes", obs.ByteBuckets(), "route"),
+			admWait:    r.HistogramVec("scdisd.http.admission.wait.seconds", obs.DurationBuckets(), "template"),
+			inflight:   r.Gauge("scdisd.http.inflight"),
+			driftState: r.GaugeVec("scdisd.template.drift.state", "template"),
+			driftScore: r.GaugeVec("scdisd.template.drift.score", "template"),
+		})
+	})
+}
+
+// Request IDs are a per-process random nonce plus a sequence number — unique
+// across restarts without coordination, cheap to mint, and greppable from an
+// access-log line back to a client's X-Request-Id header.
+var (
+	reqIDNonce = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDSeq atomic.Uint64
+)
+
+func nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqIDNonce, reqIDSeq.Add(1))
+}
+
+// reqStats is the request-scoped record the handler fills in for the
+// middleware to log and label: which template was addressed, how long
+// admission and decode took, how many traces were decoded.
+type reqStats struct {
+	template     string
+	traces       int
+	admWaitSecs  float64
+	decodeSecs   float64
+	sawAdmission bool
+}
+
+type reqStatsKey struct{}
+
+func withReqStats(ctx context.Context, st *reqStats) context.Context {
+	return context.WithValue(ctx, reqStatsKey{}, st)
+}
+
+func statsFrom(ctx context.Context) *reqStats {
+	st, _ := ctx.Value(reqStatsKey{}).(*reqStats)
+	return st
+}
+
+// statusWriter records the status code and body bytes of a response, and —
+// critically for writeError's append-after-partial-success guard — whether
+// the header has already gone out.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// countingReader counts request-body bytes actually read by the handler.
+type countingReader struct {
+	r io.ReadCloser
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.r.Close() }
+
+// instrument wraps a route handler with request telemetry and access
+// logging. route is the stable low-cardinality label for the route (the
+// pattern, not the raw path — raw paths would blow the label budget).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m := srvMet()
+		id := nextRequestID()
+		w.Header().Set("X-Request-Id", id)
+
+		st := &reqStats{template: r.PathValue("template")}
+		if st.template == "" {
+			st.template = "-"
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		cr := &countingReader{r: r.Body}
+		r.Body = cr
+		r = r.WithContext(withReqStats(r.Context(), st))
+
+		m.inflight.Add(1)
+		start := time.Now()
+		// The deferred recorder runs on panics too (including the deliberate
+		// http.ErrAbortHandler from writeError's partial-response guard), so
+		// even an aborted request leaves a metric sample and a log line.
+		defer func() {
+			rec := recover()
+			elapsed := time.Since(start)
+			status := sw.status
+			if !sw.wrote {
+				status = http.StatusOK // implicit 200 on a bodyless return
+				if rec != nil {
+					status = http.StatusInternalServerError
+				}
+			}
+			code := strconv.Itoa(status)
+			m.requests.With(route, st.template, code).Inc()
+			m.latency.With(route, st.template).Observe(elapsed.Seconds())
+			m.reqBytes.With(route).Observe(float64(cr.n))
+			m.respBytes.With(route).Observe(float64(sw.bytes))
+			if st.sawAdmission {
+				m.admWait.With(st.template).Observe(st.admWaitSecs)
+			}
+			m.inflight.Add(-1)
+			if s.access != nil {
+				attrs := []slog.Attr{
+					slog.String("id", id),
+					slog.String("route", route),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.String("template", st.template),
+					slog.Int("status", status),
+					slog.Int64("bytes_in", cr.n),
+					slog.Int64("bytes_out", sw.bytes),
+					slog.Float64("duration_ms", float64(elapsed)/float64(time.Millisecond)),
+					slog.String("remote", r.RemoteAddr),
+				}
+				if st.traces > 0 {
+					attrs = append(attrs, slog.Int("traces", st.traces))
+				}
+				if st.sawAdmission {
+					attrs = append(attrs, slog.Float64("admission_wait_ms", st.admWaitSecs*1e3))
+				}
+				if st.decodeSecs > 0 {
+					attrs = append(attrs, slog.Float64("decode_ms", st.decodeSecs*1e3))
+				}
+				if rec != nil {
+					attrs = append(attrs, slog.Bool("aborted", true))
+				}
+				s.access.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+			}
+			if rec != nil {
+				panic(rec)
+			}
+		}()
+		h(sw, r)
+	}
+}

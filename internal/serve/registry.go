@@ -243,16 +243,45 @@ func (r *Registry) load(e *entry) (*loaded, error) {
 // TemplateStatus is the externally visible state of one registry entry, as
 // reported by /v1/templates.
 type TemplateStatus struct {
-	Name     string             `json:"name"`
-	Loaded   bool               `json:"loaded"`
-	Error    string             `json:"error,omitempty"`
-	TraceLen int                `json:"trace_len,omitempty"`
-	Sparse   bool               `json:"sparse,omitempty"`
+	Name     string `json:"name"`
+	Loaded   bool   `json:"loaded"`
+	Error    string `json:"error,omitempty"`
+	TraceLen int    `json:"trace_len,omitempty"`
+	Sparse   bool   `json:"sparse,omitempty"`
 	// SparseFellBack is true when the server preferred the sparse path but
 	// this template could not support it (legacy format).
 	SparseFellBack bool               `json:"sparse_fell_back,omitempty"`
 	LoadedAt       time.Time          `json:"loaded_at,omitempty"`
 	Drift          *obs.DriftSnapshot `json:"drift,omitempty"`
+}
+
+// PublishMetrics exports every template's load and drift state as labeled
+// gauges on the default obs registry, so /metrics alone says a template went
+// critical or failed reload — without a request in between. Wired as a
+// RuntimeCollector sampler by cmd/scdisd; the decode path refreshes the
+// drift gauges per batch in addition. scdisd.template.loaded encodes 1
+// loaded, 0 registered-but-not-yet-loaded (lazy), -1 load failed.
+func (r *Registry) PublishMetrics() {
+	reg := obs.Default()
+	if reg == nil {
+		return
+	}
+	loadedVec := reg.GaugeVec("scdisd.template.loaded", "template")
+	m := srvMet()
+	for _, st := range r.Statuses() {
+		v := 0.0
+		switch {
+		case st.Loaded:
+			v = 1
+		case st.Error != "":
+			v = -1
+		}
+		loadedVec.With(st.Name).Set(v)
+		if st.Drift != nil {
+			m.driftState.With(st.Name).Set(driftStateValue(st.Drift.State))
+			m.driftScore.With(st.Name).Set(st.Drift.Score)
+		}
+	}
 }
 
 // Statuses reports every template's current state without forcing loads:

@@ -33,18 +33,23 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logger receives request-path warnings; nil uses slog.Default().
 	Logger *slog.Logger
+	// AccessLog, when non-nil, receives one structured JSON line per request
+	// (id, route, template, status, sizes, timings). Nil disables access
+	// logging; metrics are recorded either way.
+	AccessLog io.Writer
 }
 
 // Server is the HTTP front end over a template Registry: decode requests,
 // registry introspection, health, metrics and admin reload. Build with
 // NewServer, mount via Handler.
 type Server struct {
-	reg  *Registry
-	adm  *parallel.Admission
-	cfg  Config
-	log  *slog.Logger
-	mux  *http.ServeMux
-	http *http.Server
+	reg    *Registry
+	adm    *parallel.Admission
+	cfg    Config
+	log    *slog.Logger
+	access *slog.Logger // nil when access logging is disabled
+	mux    *http.ServeMux
+	http   *http.Server
 }
 
 // NewServer wires a server around reg. The admission gate is created here:
@@ -73,12 +78,22 @@ func NewServer(reg *Registry, cfg Config) *Server {
 		log: cfg.Logger,
 		mux: http.NewServeMux(),
 	}
-	s.mux.HandleFunc("POST /v1/disassemble/{template}", s.handleDisassemble)
-	s.mux.HandleFunc("GET /v1/templates", s.handleTemplates)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
-	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
+	if cfg.AccessLog != nil {
+		s.access = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
+	}
+	// Every route goes through instrument(): labeled request metrics, request
+	// ID, access log. The route label is the pattern name, never the raw path.
+	s.mux.HandleFunc("POST /v1/disassemble/{template}", s.instrument("disassemble", s.handleDisassemble))
+	s.mux.HandleFunc("GET /v1/templates", s.instrument("templates", s.handleTemplates))
+	s.mux.HandleFunc("GET /livez", s.instrument("livez", s.handleLivez))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	// /healthz predates the liveness/readiness split; it stays as a readiness
+	// alias so existing probes keep their semantics (load balancers must stop
+	// sending traffic when the server cannot answer anything but 503s).
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /metrics.json", s.instrument("metrics.json", s.handleMetricsJSON))
+	s.mux.HandleFunc("POST /admin/reload", s.instrument("reload", s.handleReload))
 	// Built here, not in Serve, so Shutdown from another goroutine never
 	// races the assignment.
 	s.http = &http.Server{
@@ -122,6 +137,15 @@ type apiError struct {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
+	// Once any handler has started a response body, an error can no longer be
+	// expressed in-band: appending error JSON to a partial success would hand
+	// the client a 200 with a corrupt body that parses as neither. Abort the
+	// connection instead — the client sees a transport error, which is honest.
+	if sw, ok := w.(*statusWriter); ok && sw.wrote {
+		s.log.Error("error after response started; aborting connection",
+			"status", status, "error", msg)
+		panic(http.ErrAbortHandler)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(apiError{Error: msg})
@@ -182,7 +206,12 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 	// slot for the (brief) parse; under overload it is shed unread with 429.
 	// The request context bounds the queue wait, so a client that gives up
 	// frees its queue slot immediately.
+	admStart := time.Now()
 	release, err := s.adm.Acquire(r.Context())
+	if st := statsFrom(r.Context()); st != nil {
+		st.admWaitSecs = time.Since(admStart).Seconds()
+		st.sawAdmission = true
+	}
 	if err != nil {
 		if errors.Is(err, parallel.ErrOverloaded) {
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
@@ -207,7 +236,12 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 		tracer = obs.NewTracer()
 		ctx = obs.WithTracer(ctx, tracer)
 	}
+	decodeStart := time.Now()
 	decs, err := tpl.d.DisassembleScoredCtx(ctx, traces)
+	if st := statsFrom(r.Context()); st != nil {
+		st.decodeSecs = time.Since(decodeStart).Seconds()
+		st.traces = len(traces)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			// Client went away or the server is draining; nobody is reading.
@@ -235,12 +269,38 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 	if tpl.drift != nil {
 		snap := tpl.drift.Snapshot()
 		resp.Drift = &snap
+		// Refresh the scrapeable drift gauges with every batch, so /metrics
+		// reflects the state this response reported, not the last ticker pass.
+		m := srvMet()
+		m.driftState.With(name).Set(driftStateValue(snap.State))
+		m.driftScore.With(name).Set(snap.Score)
 	}
 	if tracer != nil {
 		resp.Spans = tracer.Tree()
 	}
+	// Marshal before writing: a marshal failure mid-stream would leave the
+	// client a partial 200 no error can follow (writeError refuses to append
+	// one). Buffering makes encode errors a clean 500 instead.
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(&resp)
+	w.Write(append(body, '\n'))
+}
+
+// driftStateValue maps a drift state name to its gauge encoding (the
+// DriftState enum values: 0 ok, 1 warn, 2 critical).
+func driftStateValue(state string) float64 {
+	switch state {
+	case "warn":
+		return 1
+	case "critical":
+		return 2
+	default:
+		return 0
+	}
 }
 
 // readTraces parses the request body into a trace batch, validating every
@@ -318,12 +378,25 @@ func (s *Server) handleTemplates(w http.ResponseWriter, r *http.Request) {
 	}{s.reg.Statuses()})
 }
 
-// handleHealthz is the liveness/readiness probe: 200 while at least one
-// registered template could plausibly serve, 503 for an empty registry or
-// one where every registered file has already failed to load — readiness
-// must not stay green when the server can answer nothing but 503s. Entries
-// never requested yet (lazy, no load attempted) count as plausibly healthy.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// handleLivez is the liveness probe: 200 whenever the process can run a
+// handler at all. Liveness deliberately knows nothing about templates or
+// load — an orchestrator restarts on liveness failure, and restarting does
+// not fix a bad template directory or a saturated gate.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		OK bool `json:"ok"`
+	}{true})
+}
+
+// handleReadyz is the readiness probe (also served at /healthz for
+// compatibility): 200 while at least one registered template could plausibly
+// serve AND the admission gate would still admit a request. 503 for an empty
+// registry, one where every registered file has already failed to load, or a
+// saturated gate — readiness must not stay green when the server can answer
+// nothing but 503s and 429s. Entries never requested yet (lazy, no load
+// attempted) count as plausibly healthy.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	sts := s.reg.Statuses()
 	failed := 0
 	for _, st := range sts {
@@ -331,8 +404,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			failed++
 		}
 	}
+	saturated := s.adm.Saturated()
 	status := http.StatusOK
-	if len(sts) == 0 || failed == len(sts) {
+	if len(sts) == 0 || failed == len(sts) || saturated {
 		status = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -341,9 +415,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		OK        bool `json:"ok"`
 		Templates int  `json:"templates"`
 		Failed    int  `json:"failed"`
+		Saturated bool `json:"saturated"`
 		InFlight  int  `json:"in_flight"`
 		Queued    int  `json:"queued"`
-	}{status == http.StatusOK, len(sts), failed, s.adm.InFlight(), s.adm.Queued()})
+	}{status == http.StatusOK, len(sts), failed, saturated, s.adm.InFlight(), s.adm.Queued()})
 }
 
 // handleMetrics renders the process obs registry in Prometheus exposition

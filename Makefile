@@ -35,11 +35,12 @@ bench:
 # Comparison gates: fail when the metrics+tracing path makes FitPipeline
 # more than 3% slower than the nil-registry fast path, when decision
 # recording (scored path + log + drift monitor) costs more than 3% over
-# plain decoding and more than 5us/trace absolute, or when sparse per-cell
+# plain decoding and more than 5us/trace absolute, when sparse per-cell
 # extraction loses its >=8x edge over the full-FFT path (or grows past its
-# allocation budget).
+# allocation budget), or when a v4 registry cold start (header-only opens)
+# is not at least 10x cheaper than the same 16 templates as gob.
 bench-compare:
-	BENCH_COMPARE=1 $(GO) test -run 'TestMetricsOverheadBudget|TestDecisionOverheadBudget|TestSparseSpeedupBudget|TestLabeledOverheadBudget' -v .
+	BENCH_COMPARE=1 $(GO) test -run 'TestMetricsOverheadBudget|TestDecisionOverheadBudget|TestSparseSpeedupBudget|TestLabeledOverheadBudget|TestStoreColdStartBudget' -v .
 
 # Every native fuzz target, run briefly from its committed seed corpus. Go
 # allows one -fuzz pattern per invocation, so iterate; -run '^$$' skips the
@@ -52,6 +53,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzValidateTrace$$' -fuzztime $(FUZZTIME) ./internal/power
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzOptionsFlagParsing$$' -fuzztime $(FUZZTIME) ./internal/obs
+	$(GO) test -run '^$$' -fuzz '^FuzzStoreOpen$$' -fuzztime $(FUZZTIME) ./internal/store
 
 # Coverage with a ratcheted floor: raise COVER_FLOOR when coverage improves,
 # never lower it (measured 72.3% when last ratcheted). -short skips the e2e

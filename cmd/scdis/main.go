@@ -11,6 +11,11 @@
 //	scdis drift                      stream a control then a covariate-shifted
 //	                                 phase through the classifier and report
 //	                                 the drift monitor's verdict per phase
+//	scdis convert -in a.tpl -out b.tpl
+//	                                 migrate a template to the flat v4 store
+//	                                 format (-quantize packs matrix sections
+//	                                 as float32, halving file and resident
+//	                                 bytes)
 //
 // Flags for demo/detect/drift: -programs, -traces, -seed scale the simulated
 // profiling campaign; -workers N bounds the worker pool (0 = all CPUs);
@@ -44,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/power"
+	"repro/internal/store"
 )
 
 func main() {
@@ -69,6 +75,8 @@ func main() {
 		err = runDetect(ctx, args)
 	case "drift":
 		err = runDrift(ctx, args)
+	case "convert":
+		err = runConvert(args)
 	default:
 		usage()
 	}
@@ -79,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scdis <groups|asm|decode|demo|detect|drift> [args]")
+	fmt.Fprintln(os.Stderr, "usage: scdis <groups|asm|decode|demo|detect|drift|convert> [args]")
 	os.Exit(2)
 }
 
@@ -211,12 +219,9 @@ func runDemo(ctx context.Context, args []string) error {
 	var d *core.Disassembler
 	var rep *core.TrainReport
 	if *loadFrom != "" {
-		f, err := os.Open(*loadFrom)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if d, err = core.Load(f); err != nil {
+		// LoadFile sniffs the format: gob (v1–v3) and flat store (v4) files
+		// both load here, so demo can replay templates from either lineage.
+		if d, err = core.LoadFile(*loadFrom); err != nil {
 			return err
 		}
 		fmt.Printf("loaded templates from %s\n", *loadFrom)
@@ -487,4 +492,46 @@ func runDrift(ctx context.Context, args []string) error {
 	manifest.Config = cfg
 	manifest.Report = rep
 	return sess.Close(manifest, parallel.Workers())
+}
+
+// runConvert migrates a template file to the flat v4 store format. The
+// source may be any supported format (gob v1–v3 or already-v4); loading
+// fully validates it, so a defective file never converts into a "valid"
+// store file.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "source template file (gob v1-v3 or store v4)")
+	out := fs.String("out", "", "destination file (flat store, schema v4)")
+	quantize := fs.Bool("quantize", false, "encode matrix sections as float32 (half the bytes; <=2^-24 relative rounding per value, e2e-gated)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return errors.New("convert needs -in and -out")
+	}
+	d, err := core.LoadFile(*in)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", *in, err)
+	}
+	if err := d.SaveStoreFile(*out, store.Options{Quantize: *quantize}); err != nil {
+		return fmt.Errorf("writing %s: %w", *out, err)
+	}
+	srcInfo, err := os.Stat(*in)
+	if err != nil {
+		return err
+	}
+	dstInfo, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	f, err := store.Open(*out)
+	if err != nil {
+		return fmt.Errorf("re-opening %s: %w", *out, err)
+	}
+	defer f.Close()
+	fmt.Printf("converted %s (%d bytes) -> %s (%d bytes, schema v4, quantized=%v)\n",
+		*in, srcInfo.Size(), *out, dstInfo.Size(), *quantize)
+	fmt.Printf("header %d bytes (eager), %d sections / %d bytes (lazy)\n",
+		f.PayloadOffset(), len(f.Sections()), dstInfo.Size()-f.PayloadOffset())
+	return nil
 }

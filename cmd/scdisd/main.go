@@ -185,6 +185,7 @@ func run(args []string) error {
 			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 				return err
 			}
+			reg.Close()
 			slog.Info("scdisd stopped cleanly")
 			return nil
 		case err := <-errc:

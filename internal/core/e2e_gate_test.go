@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/avr"
 	"repro/internal/power"
+	"repro/internal/store"
 )
 
 // The end-to-end accuracy regression gate: a deterministic synthetic dataset
@@ -176,15 +177,88 @@ func TestEndToEndAccuracyGate(t *testing.T) {
 	}
 
 	// Level 3: held-out evaluation — a fresh program environment and seeds
-	// never seen in training, the paper's cross-program scenario.
+	// never seen in training, the paper's cross-program scenario. The
+	// campaign is acquired once and reused, so the same traces also gate the
+	// template-store round trips below.
+	classBatches, regBatches := heldOutCampaign(t, cfg)
+	base := evalHeldOut(t, classBatches, regBatches, func(t *testing.T, traces [][]float64) []Decoded {
+		return disassembleBothPaths(t, d, traces)
+	})
+	assertGateFloors(t, "in-memory", base)
+
+	// Level 4: the schema-v4 store round trip. An unquantized v4 template,
+	// opened header-only and lazily materialized, must classify the whole
+	// held-out campaign byte-identically to the in-memory disassembler —
+	// float64 sections round-trip bitwise, so any divergence is a store bug.
+	dir := t.TempDir()
+	v4Path := filepath.Join(dir, "gate.tpl")
+	if err := d.SaveStoreFile(v4Path, store.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := OpenTemplate(v4Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tpl.Close()
+	lazy, err := tpl.Disassembler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4 := evalHeldOut(t, classBatches, regBatches, func(t *testing.T, traces [][]float64) []Decoded {
+		decs, err := lazy.Disassemble(traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decs
+	})
+	for bi := range base.decodes {
+		for i := range base.decodes[bi] {
+			if v4.decodes[bi][i] != base.decodes[bi][i] {
+				t.Fatalf("batch %d trace %d: v4-lazy decoded %+v, in-memory %+v",
+					bi, i, v4.decodes[bi][i], base.decodes[bi][i])
+			}
+		}
+	}
+
+	// Level 5: quantization. Float32 sections carry a ≤2⁻²⁴ relative
+	// rounding per value; individual borderline decisions may flip, so the
+	// gate here is the same success-rate floors, not decode identity.
+	q4Path := filepath.Join(dir, "gate_q.tpl")
+	if err := d.SaveStoreFile(q4Path, store.Options{Quantize: true}); err != nil {
+		t.Fatal(err)
+	}
+	quant, err := LoadFile(q4Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4 := evalHeldOut(t, classBatches, regBatches, func(t *testing.T, traces [][]float64) []Decoded {
+		decs, err := quant.Disassemble(traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decs
+	})
+	assertGateFloors(t, "quantized v4", q4)
+}
+
+// gateBatch is one held-out acquisition: the true stream and its traces.
+type gateBatch struct {
+	cl     avr.Class
+	stream []avr.Instruction
+	traces [][]float64
+}
+
+// heldOutCampaign acquires the cross-program evaluation streams in the exact
+// rng order the gate has always used, so the synthesized traces (and thus
+// the floors) are unchanged by the refactor that made them reusable.
+func heldOutCampaign(t *testing.T, cfg TrainerConfig) (classBatches, regBatches []gateBatch) {
+	t.Helper()
 	camp, err := power.NewCampaign(cfg.Power, 0, 24601)
 	if err != nil {
 		t.Fatal(err)
 	}
 	prog := power.NewProgramEnv(cfg.Power, 24601, 11)
 	rng := rand.New(rand.NewSource(7))
-
-	groupHit, classHit, total := 0, 0, 0
 	for _, cl := range avr.AllClasses() {
 		stream := make([]avr.Instruction, 4)
 		for i := range stream {
@@ -194,23 +268,9 @@ func TestEndToEndAccuracyGate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		decs := disassembleBothPaths(t, d, traces)
-		for _, dec := range decs {
-			total++
-			if dec.Group == cl.Group() {
-				groupHit++
-			}
-			if avr.Canonical(avr.Instruction{Class: dec.Class, Rd: dec.Rd, Rr: dec.Rr}).Class ==
-				avr.Canonical(avr.Instruction{Class: cl}).Class {
-				classHit++
-			}
-		}
+		classBatches = append(classBatches, gateBatch{cl: cl, stream: stream, traces: traces})
 	}
-	groupSR := float64(groupHit) / float64(total)
-	classSR := float64(classHit) / float64(total)
-
 	// Register recovery on plain Rd/Rr two-operand classes.
-	rdHit, rrHit, rdTotal, rrTotal := 0, 0, 0, 0
 	for _, cl := range []avr.Class{avr.OpADD, avr.OpAND, avr.OpEOR, avr.OpMOV} {
 		stream := make([]avr.Instruction, 8)
 		for i := range stream {
@@ -220,40 +280,81 @@ func TestEndToEndAccuracyGate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		decs := disassembleBothPaths(t, d, traces)
+		regBatches = append(regBatches, gateBatch{cl: cl, stream: stream, traces: traces})
+	}
+	return classBatches, regBatches
+}
+
+// gateEval is one disassembler's held-out scorecard, with the raw decodes
+// retained so store round-trip variants can be compared decode-for-decode.
+type gateEval struct {
+	groupSR, classSR, rdSR, rrSR float64
+	rdTotal, rrTotal             int
+	decodes                      [][]Decoded // class batches, then register batches
+}
+
+func evalHeldOut(t *testing.T, classBatches, regBatches []gateBatch, decode func(*testing.T, [][]float64) []Decoded) gateEval {
+	t.Helper()
+	var ev gateEval
+	groupHit, classHit, total := 0, 0, 0
+	for _, b := range classBatches {
+		decs := decode(t, b.traces)
+		ev.decodes = append(ev.decodes, decs)
+		for _, dec := range decs {
+			total++
+			if dec.Group == b.cl.Group() {
+				groupHit++
+			}
+			if avr.Canonical(avr.Instruction{Class: dec.Class, Rd: dec.Rd, Rr: dec.Rr}).Class ==
+				avr.Canonical(avr.Instruction{Class: b.cl}).Class {
+				classHit++
+			}
+		}
+	}
+	ev.groupSR = float64(groupHit) / float64(total)
+	ev.classSR = float64(classHit) / float64(total)
+
+	rdHit, rrHit := 0, 0
+	for _, b := range regBatches {
+		decs := decode(t, b.traces)
+		ev.decodes = append(ev.decodes, decs)
 		for i, dec := range decs {
 			if dec.HasRd {
-				rdTotal++
-				if dec.Rd == stream[i].Rd {
+				ev.rdTotal++
+				if dec.Rd == b.stream[i].Rd {
 					rdHit++
 				}
 			}
 			if dec.HasRr {
-				rrTotal++
-				if dec.Rr == stream[i].Rr {
+				ev.rrTotal++
+				if dec.Rr == b.stream[i].Rr {
 					rrHit++
 				}
 			}
 		}
 	}
-	rdSR := float64(rdHit) / float64(max(rdTotal, 1))
-	rrSR := float64(rrHit) / float64(max(rrTotal, 1))
+	ev.rdSR = float64(rdHit) / float64(max(ev.rdTotal, 1))
+	ev.rrSR = float64(rrHit) / float64(max(ev.rrTotal, 1))
 	t.Logf("held-out: group=%.4f class=%.4f rd=%.4f (%d) rr=%.4f (%d) over %d traces",
-		groupSR, classSR, rdSR, rdTotal, rrSR, rrTotal, total)
+		ev.groupSR, ev.classSR, ev.rdSR, ev.rdTotal, ev.rrSR, ev.rrTotal, total)
+	return ev
+}
 
-	if groupSR < gateGroupEvalFloor {
-		t.Errorf("held-out group SR %.4f below floor %.2f", groupSR, gateGroupEvalFloor)
+func assertGateFloors(t *testing.T, label string, ev gateEval) {
+	t.Helper()
+	if ev.groupSR < gateGroupEvalFloor {
+		t.Errorf("%s: held-out group SR %.4f below floor %.2f", label, ev.groupSR, gateGroupEvalFloor)
 	}
-	if classSR < gateClassEvalFloor {
-		t.Errorf("held-out class SR %.4f below floor %.2f", classSR, gateClassEvalFloor)
+	if ev.classSR < gateClassEvalFloor {
+		t.Errorf("%s: held-out class SR %.4f below floor %.2f", label, ev.classSR, gateClassEvalFloor)
 	}
-	if rdTotal == 0 || rrTotal == 0 {
-		t.Error("register recovery never engaged on held-out register-bearing traces")
+	if ev.rdTotal == 0 || ev.rrTotal == 0 {
+		t.Errorf("%s: register recovery never engaged on held-out register-bearing traces", label)
 	}
-	if rdSR < gateRdEvalFloor {
-		t.Errorf("held-out Rd SR %.4f below floor %.2f", rdSR, gateRdEvalFloor)
+	if ev.rdSR < gateRdEvalFloor {
+		t.Errorf("%s: held-out Rd SR %.4f below floor %.2f", label, ev.rdSR, gateRdEvalFloor)
 	}
-	if rrSR < gateRegEvalFloor {
-		t.Errorf("held-out Rr SR %.4f below floor %.2f", rrSR, gateRegEvalFloor)
+	if ev.rrSR < gateRegEvalFloor {
+		t.Errorf("%s: held-out Rr SR %.4f below floor %.2f", label, ev.rrSR, gateRegEvalFloor)
 	}
 }

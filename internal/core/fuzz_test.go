@@ -24,10 +24,42 @@ func stateGob(t testing.TB, st disassemblerState) []byte {
 	return buf.Bytes()
 }
 
+// strippedTrainedGob trains the shared fixture and gob-encodes its state
+// with every matrix payload stripped (the store codecs' Strip, shapes
+// retained): a structurally real template stream at committable size — a
+// whole trained file gob-encodes to hundreds of KB of matrix payload, while
+// the stripped form keeps only the real Points/Pairs/class-table structure
+// the crafted seeds above cannot imitate. Restore hardening guarantees Load
+// rejects it cleanly
+// (the PCA basis has shape but no data) instead of panicking in Transform.
+func strippedTrainedGob(t *testing.T) []byte {
+	d, _ := sharedFixture(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st disassemblerState
+	if err := gob.NewDecoder(&buf).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	lvls := []*levelState{&st.Group, &st.Rd, &st.Rr}
+	for i := range st.Instr {
+		lvls = append(lvls, &st.Instr[i])
+	}
+	for _, lvl := range lvls {
+		if !lvl.Present {
+			continue
+		}
+		lvl.Pipe = lvl.Pipe.Strip()
+		lvl.Clf = lvl.Clf.Strip()
+	}
+	return stateGob(t, st)
+}
+
 // TestFuzzCorpusCommitted regenerates the committed seed corpus under
 // testdata/fuzz when REGEN_FUZZ_CORPUS is set, and otherwise asserts it is
-// present. The seeds are the crafted stateGob variants, not a trained
-// template file — a real one gob-encodes to ~330 KB, too heavy to commit.
+// present. The seeds are the crafted stateGob variants plus a stripped real
+// trained state (see strippedTrainedGob).
 func TestFuzzCorpusCommitted(t *testing.T) {
 	if os.Getenv("REGEN_FUZZ_CORPUS") != "" {
 		testkit.WriteCorpus(t, "FuzzLoad", "not_gob", []byte("not a gob stream"))
@@ -40,11 +72,25 @@ func TestFuzzCorpusCommitted(t *testing.T) {
 		testkit.WriteCorpus(t, "FuzzLoad", "poisoned_class_table", stateGob(t, bad))
 		whole := stateGob(t, disassemblerState{Version: templateFormatVersion, HaveRegs: true})
 		testkit.WriteCorpus(t, "FuzzLoad", "truncated", whole[:len(whole)/2])
+		testkit.WriteCorpus(t, "FuzzLoad", "stripped_trained_state", strippedTrainedGob(t))
 		return
 	}
 	ents, err := os.ReadDir(filepath.Join("testdata", "fuzz", "FuzzLoad"))
 	if err != nil || len(ents) == 0 {
 		t.Errorf("no committed seed corpus for FuzzLoad (REGEN_FUZZ_CORPUS=1 to create): %v", err)
+	}
+}
+
+// TestStrippedTrainedSeedRejectedCleanly pins the stripped seed's contract in
+// unit form (the fuzz engine only exercises it under -fuzz): Load must
+// reject the deep, shape-consistent, payload-free state with
+// ErrTemplateFormat — before restore hardening this path reached
+// PipelineFromState with a nil-Data PCA basis and panicked at classify time.
+func TestStrippedTrainedSeedRejectedCleanly(t *testing.T) {
+	b := strippedTrainedGob(t)
+	d, err := Load(bytes.NewReader(b))
+	if d != nil || !errors.Is(err, ErrTemplateFormat) {
+		t.Fatalf("stripped trained state: Load returned (%v, %v), want (nil, ErrTemplateFormat)", d, err)
 	}
 }
 

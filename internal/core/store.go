@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/avr"
+	"repro/internal/store"
+)
+
+// Schema v4: the flat, checksummed, lazily loadable template container
+// (internal/store). This file converts between the Disassembler and the
+// store's exported TemplateState, and provides the Template handle serving
+// uses for two-phase loading — a cheap header-only open followed by section
+// materialization on the first decode. The gob lineage (v1–v3) stays fully
+// supported through Save/Load; LoadFile and OpenTemplate sniff the magic
+// bytes and route to the right decoder.
+
+// TemplateFormat names the on-disk format of a template file.
+type TemplateFormat string
+
+const (
+	// FormatGob is the v1–v3 whole-file gob lineage (core.Save).
+	FormatGob TemplateFormat = "gob"
+	// FormatV4 is the flat section-addressed store (store.Write).
+	FormatV4 TemplateFormat = "v4"
+)
+
+// templateState converts the trained set into the store's exported state,
+// including each sparse-capable level's precomputed kernel table.
+func (d *Disassembler) templateState() (*store.TemplateState, error) {
+	if d.group.pipe == nil {
+		return nil, errors.New("core: cannot save an untrained disassembler")
+	}
+	toLevel := func(lvl groupLevel, what string) (store.LevelState, error) {
+		ls, err := snapshotLevel(lvl)
+		if err != nil || !ls.Present {
+			return store.LevelState{}, err
+		}
+		out := store.LevelState{Present: true, Pipe: ls.Pipe, Clf: ls.Clf}
+		t, err := lvl.pipe.SparseTable()
+		if err != nil {
+			return store.LevelState{}, fmt.Errorf("%s kernel table: %w", what, err)
+		}
+		out.Sparse = t
+		return out, nil
+	}
+	st := &store.TemplateState{HaveRegs: d.haveRegs}
+	var err error
+	if st.Group, err = toLevel(d.group, "group level"); err != nil {
+		return nil, fmt.Errorf("core: saving group level: %w", err)
+	}
+	for i := range d.instr {
+		if st.Instr[i], err = toLevel(d.instr[i], fmt.Sprintf("group %d level", i+1)); err != nil {
+			return nil, fmt.Errorf("core: saving group %d level: %w", i+1, err)
+		}
+		st.InstrClass[i] = d.instrClass[i]
+	}
+	if d.haveRegs {
+		if st.Rd, err = toLevel(d.rd, "Rd level"); err != nil {
+			return nil, fmt.Errorf("core: saving Rd level: %w", err)
+		}
+		if st.Rr, err = toLevel(d.rr, "Rr level"); err != nil {
+			return nil, fmt.Errorf("core: saving Rr level: %w", err)
+		}
+	}
+	return st, nil
+}
+
+// SaveStore writes the trained template set as a schema-v4 store file.
+func (d *Disassembler) SaveStore(w io.Writer, opts store.Options) error {
+	st, err := d.templateState()
+	if err != nil {
+		return err
+	}
+	return store.Write(w, st, opts)
+}
+
+// SaveStoreFile is SaveStore to a path (partial files are removed on error).
+func (d *Disassembler) SaveStoreFile(path string, opts store.Options) error {
+	st, err := d.templateState()
+	if err != nil {
+		return err
+	}
+	return store.WriteFile(path, st, opts)
+}
+
+// disassemblerFromTemplateState rebuilds a Disassembler from materialized
+// store state, applying the same screening as the gob path: class tables
+// are validated against the ISA, every failure wraps ErrTemplateFormat, and
+// a persisted kernel table must match the fitted state it rides with.
+func disassemblerFromTemplateState(st *store.TemplateState) (*Disassembler, error) {
+	fromLevel := func(ls store.LevelState) (groupLevel, error) {
+		lvl, err := restoreLevel(levelState{Present: ls.Present, Pipe: ls.Pipe, Clf: ls.Clf})
+		if err != nil || !ls.Present {
+			return lvl, err
+		}
+		if ls.Sparse != nil {
+			if err := lvl.pipe.InstallSparseTable(ls.Sparse); err != nil {
+				return groupLevel{}, err
+			}
+		}
+		return lvl, nil
+	}
+	d := &Disassembler{haveRegs: st.HaveRegs}
+	var err error
+	if d.group, err = fromLevel(st.Group); err != nil {
+		return nil, fmt.Errorf("%w: restoring group level: %w", ErrTemplateFormat, err)
+	}
+	if d.group.pipe == nil {
+		return nil, fmt.Errorf("%w: file lacks a group level", ErrTemplateFormat)
+	}
+	for i := range d.instr {
+		if d.instr[i], err = fromLevel(st.Instr[i]); err != nil {
+			return nil, fmt.Errorf("%w: restoring group %d level: %w", ErrTemplateFormat, i+1, err)
+		}
+		for _, c := range st.InstrClass[i] {
+			if !avr.ValidClass(c) {
+				return nil, fmt.Errorf("%w: group %d class table holds undefined class %d", ErrTemplateFormat, i+1, c)
+			}
+		}
+		d.instrClass[i] = st.InstrClass[i]
+	}
+	if st.HaveRegs {
+		if d.rd, err = fromLevel(st.Rd); err != nil {
+			return nil, fmt.Errorf("%w: restoring Rd level: %w", ErrTemplateFormat, err)
+		}
+		if d.rr, err = fromLevel(st.Rr); err != nil {
+			return nil, fmt.Errorf("%w: restoring Rr level: %w", ErrTemplateFormat, err)
+		}
+	}
+	return d, nil
+}
+
+// Template is a two-phase handle on a template file of either format. Open
+// is cheap: a v4 file decodes only its header (shape questions — TraceLen,
+// Quantized — answer immediately); the matrices materialize on the first
+// Disassembler call and the result (or error) is remembered. For gob files
+// there is no header/payload split, so materialization happens eagerly at
+// OpenTemplate and Disassembler never fails afterwards.
+type Template struct {
+	format TemplateFormat
+	path   string
+	f      *store.File // v4 only
+
+	mu   sync.Mutex
+	done bool
+	d    *Disassembler
+	err  error
+}
+
+// OpenTemplate sniffs path's format and opens it. v4 files have their
+// header decoded and validated (bad files fail here, wrapping
+// ErrTemplateFormat); gob files are fully loaded — the legacy cost this
+// format exists to avoid, paid only for legacy files.
+func OpenTemplate(path string) (*Template, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [4]byte
+	_, rerr := io.ReadFull(fh, magic[:])
+	fh.Close()
+	if rerr == nil && string(magic[:]) == store.Magic {
+		sf, err := store.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrTemplateFormat, err)
+		}
+		hs := sf.HeaderState()
+		if !hs.Group.Present || hs.Group.Pipe == nil || hs.Group.Pipe.TraceLen <= 0 {
+			sf.Close()
+			return nil, fmt.Errorf("%w: file lacks a group level", ErrTemplateFormat)
+		}
+		return &Template{format: FormatV4, path: path, f: sf}, nil
+	}
+	t := &Template{format: FormatGob, path: path, done: true}
+	fh, err = os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	if t.d, err = Load(fh); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Format reports the file's on-disk format.
+func (t *Template) Format() TemplateFormat { return t.format }
+
+// Quantized reports whether a v4 file's matrix sections are float32-encoded.
+func (t *Template) Quantized() bool { return t.f != nil && t.f.Quantized() }
+
+// TraceLen answers from the header alone — no sections are touched.
+func (t *Template) TraceLen() int {
+	if t.f != nil {
+		return t.f.HeaderState().Group.Pipe.TraceLen
+	}
+	if t.d != nil {
+		return t.d.TraceLen()
+	}
+	return 0
+}
+
+// Materialized reports whether the Disassembler has been built (always true
+// for gob files, which load whole).
+func (t *Template) Materialized() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done && t.err == nil && t.d != nil
+}
+
+// ResidentBytes reports the decoded section bytes currently attributed to
+// this handle (0 for gob files, whose whole decode is not section-tracked).
+func (t *Template) ResidentBytes() int64 {
+	if t.f == nil {
+		return 0
+	}
+	return t.f.ResidentBytes()
+}
+
+// Disassembler materializes the template on first call: every section is
+// loaded, CRC-checked and reattached, and the hierarchy is rebuilt with the
+// same validation as Load. The result — or the failure — is remembered;
+// a corrupted section yields the same SectionError on every call, never a
+// partially initialized Disassembler.
+func (t *Template) Disassembler() (*Disassembler, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return t.d, t.err
+	}
+	t.done = true
+	st, err := t.f.Template()
+	if err != nil {
+		t.err = fmt.Errorf("%w: %w", ErrTemplateFormat, err)
+		return nil, t.err
+	}
+	t.d, t.err = disassemblerFromTemplateState(st)
+	return t.d, t.err
+}
+
+// Close releases the underlying store file (no-op for gob). A materialized
+// Disassembler stays valid — its state lives on the heap — but an
+// unmaterialized v4 handle can no longer materialize.
+func (t *Template) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil {
+		return nil
+	}
+	return t.f.Close()
+}
+
+// LoadFile loads a template of either format whole — the one-shot CLI path.
+// The two-phase Template handle is for servers that want the header now and
+// the matrices later.
+func LoadFile(path string) (*Disassembler, error) {
+	t, err := OpenTemplate(path)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Close()
+	return t.Disassembler()
+}

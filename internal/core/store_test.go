@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// saveV4 writes the fixture disassembler as a v4 file under t.TempDir.
+func saveV4(t *testing.T, d *Disassembler, opts store.Options) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fixture.tpl")
+	if err := d.SaveStoreFile(path, opts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestStoreLazyEqualsEagerDecode is the serving-path property on a real
+// trained template: a v4 handle opened header-only and materialized on first
+// use must decode the fixture campaign identically to the in-memory
+// disassembler it was saved from.
+func TestStoreLazyEqualsEagerDecode(t *testing.T) {
+	d, traces := sharedFixture(t)
+	want, err := d.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tpl, err := OpenTemplate(saveV4(t, d, store.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tpl.Close()
+	if tpl.Format() != FormatV4 {
+		t.Fatalf("format = %q, want v4", tpl.Format())
+	}
+	if tpl.Quantized() {
+		t.Fatal("unquantized save reports Quantized")
+	}
+	if got := tpl.TraceLen(); got != d.TraceLen() {
+		t.Fatalf("header TraceLen = %d, want %d", got, d.TraceLen())
+	}
+	if tpl.Materialized() {
+		t.Fatal("freshly opened v4 handle claims to be materialized")
+	}
+	if tpl.ResidentBytes() != 0 {
+		t.Fatalf("resident bytes %d before materialization", tpl.ResidentBytes())
+	}
+
+	back, err := tpl.Disassembler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tpl.Materialized() {
+		t.Fatal("handle not materialized after Disassembler")
+	}
+	if tpl.ResidentBytes() == 0 {
+		t.Fatal("no resident bytes after materialization")
+	}
+	got, err := back.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lazy decode %d = %+v, eager %+v", i, got[i], want[i])
+		}
+	}
+	// Materialization is once: the second call returns the same instance.
+	again, err := tpl.Disassembler()
+	if err != nil || again != back {
+		t.Fatalf("second Disassembler call: %p/%v, want the remembered %p", again, err, back)
+	}
+}
+
+// TestStoreConvertChain covers the migration path end to end: gob save →
+// LoadFile (sniffs gob) → v4 save → LoadFile (sniffs v4) with identical
+// decodes at every hop, plus the gob handle's eager semantics.
+func TestStoreConvertChain(t *testing.T) {
+	d, traces := sharedFixture(t)
+	want, err := d.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	gobPath := filepath.Join(dir, "legacy.tpl")
+	f, err := os.Create(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// OpenTemplate on a gob file: format sniffed, loaded whole at open.
+	gt, err := OpenTemplate(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gt.Close()
+	if gt.Format() != FormatGob || !gt.Materialized() || gt.Quantized() {
+		t.Fatalf("gob handle: format=%q materialized=%v quantized=%v", gt.Format(), gt.Materialized(), gt.Quantized())
+	}
+	if gt.TraceLen() != d.TraceLen() {
+		t.Fatalf("gob handle TraceLen = %d, want %d", gt.TraceLen(), d.TraceLen())
+	}
+
+	// The conversion a `scdis convert` run performs.
+	loaded, err := LoadFile(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4Path := filepath.Join(dir, "converted.tpl")
+	if err := loaded.SaveStoreFile(v4Path, store.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	conv, err := LoadFile(v4Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := conv.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("converted decode %d = %+v, original %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStoreQuantizedTemplateClassifies pins that a float32-quantized template
+// loads and classifies the fixture campaign (the accuracy floors under
+// quantization are enforced by the e2e gate; here the contract is that the
+// half-size file is a working template, not a lossy wreck).
+func TestStoreQuantizedTemplateClassifies(t *testing.T) {
+	d, traces := sharedFixture(t)
+	path := saveV4(t, d, store.Options{Quantize: true})
+	tpl, err := OpenTemplate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tpl.Close()
+	if !tpl.Quantized() {
+		t.Fatal("quantized save does not report Quantized")
+	}
+	q, err := tpl.Disassembler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs, err := q.Disassemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs) != len(traces) {
+		t.Fatalf("quantized decode returned %d results for %d traces", len(decs), len(traces))
+	}
+}
+
+// TestStoreCorruptSectionFailsClosed flips one payload byte in a real
+// template file: the header-only open still succeeds, materialization fails
+// naming the damaged section under both error taxonomies (core's
+// ErrTemplateFormat and store's ErrFormat), the failure is remembered, and
+// the handle never yields a partially initialized disassembler.
+func TestStoreCorruptSectionFailsClosed(t *testing.T) {
+	d, _ := sharedFixture(t)
+	path := saveV4(t, d, store.Options{})
+	sf, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := sf.Sections()
+	payloadOff := sf.PayloadOffset()
+	sf.Close()
+	if len(secs) == 0 {
+		t.Fatal("fixture template has no sections")
+	}
+	// First, an interior, and the last section — the full per-section matrix
+	// runs on the tiny synthetic state in internal/store.
+	for _, idx := range []int{0, len(secs) / 2, len(secs) - 1} {
+		target := secs[idx]
+		t.Run(target.Name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[payloadOff+target.Offset] ^= 0x08
+			bad := filepath.Join(t.TempDir(), "corrupt.tpl")
+			if err := os.WriteFile(bad, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			tpl, err := OpenTemplate(bad)
+			if err != nil {
+				t.Fatalf("payload corruption must not fail the header open: %v", err)
+			}
+			defer tpl.Close()
+			bd, err := tpl.Disassembler()
+			if bd != nil || err == nil {
+				t.Fatal("corrupted template materialized")
+			}
+			if !errors.Is(err, ErrTemplateFormat) || !errors.Is(err, store.ErrFormat) {
+				t.Fatalf("error %v outside the format taxonomies", err)
+			}
+			var se *store.SectionError
+			if !errors.As(err, &se) || se.Section != target.Name {
+				t.Fatalf("error %v does not name section %q", err, target.Name)
+			}
+			if tpl.Materialized() {
+				t.Fatal("handle claims materialized after a failed materialization")
+			}
+			if _, err2 := tpl.Disassembler(); err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("second materialization gave %v, want the remembered %v", err2, err)
+			}
+		})
+	}
+}
+
+// TestOpenTemplateRejectsDefectiveFiles covers the sniffing edge cases.
+func TestOpenTemplateRejectsDefectiveFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := OpenTemplate(filepath.Join(dir, "missing.tpl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Garbage without the v4 magic routes to the gob loader.
+	if _, err := OpenTemplate(write("junk.tpl", []byte("junk template bytes"))); !errors.Is(err, ErrTemplateFormat) {
+		t.Fatalf("gob-routed junk: %v, want ErrTemplateFormat", err)
+	}
+	// The v4 magic followed by garbage fails the store's screens.
+	if _, err := OpenTemplate(write("sct4.tpl", append([]byte(store.Magic), bytes.Repeat([]byte{0xAB}, 64)...))); !errors.Is(err, ErrTemplateFormat) {
+		t.Fatalf("v4-routed junk: %v, want ErrTemplateFormat", err)
+	}
+}
+
+// TestTemplateCloseBeforeMaterialize pins the handle lifecycle: a closed,
+// never-materialized v4 handle refuses to materialize instead of crashing.
+func TestTemplateCloseBeforeMaterialize(t *testing.T) {
+	d, _ := sharedFixture(t)
+	tpl, err := OpenTemplate(saveV4(t, d, store.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl.Disassembler(); err == nil {
+		t.Fatal("closed handle materialized")
+	}
+	if !strings.Contains(strings.ToLower(headErr(tpl)), "closed") {
+		t.Fatalf("materialization-after-close error %q does not mention the close", headErr(tpl))
+	}
+}
+
+func headErr(tpl *Template) string {
+	_, err := tpl.Disassembler()
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,100 @@
+package dsp
+
+import "fmt"
+
+// SparseTable is the serializable form of a SparseCWT: the precomputed
+// per-cell kernel windows, flattened. The template store persists the Re/Im
+// sample arrays as checksummed sections and the integer structure in the
+// eagerly decoded header, so a served template skips the kernel rebuild
+// (morletKernel sampling over every selected cell) at materialization time.
+//
+// Invariant layout (mirrors SparseCWT): cell i reads trace samples
+// [Lo[i], Lo[i]+length) against Re/Im[Off[i] : Off[i]+length), where
+// length = Off[i+1]-Off[i].
+type SparseTable struct {
+	Bank  BankConfig
+	N     int // trace length
+	Cells []Cell
+	Lo    []int
+	Off   []int // len(Cells)+1
+	Re    []float64
+	Im    []float64
+}
+
+// Table snapshots the evaluator's kernel table. The integer structure is
+// copied; the Re/Im sample arrays are shared (the store never mutates them).
+func (s *SparseCWT) Table() *SparseTable {
+	return &SparseTable{
+		Bank:  s.bank,
+		N:     s.n,
+		Cells: append([]Cell(nil), s.cells...),
+		Lo:    append([]int(nil), s.lo...),
+		Off:   append([]int(nil), s.off...),
+		Re:    s.re,
+		Im:    s.im,
+	}
+}
+
+// Strip returns a copy without the kernel sample payloads — the part of the
+// table that lives in lazily loaded sections rather than the store header.
+func (t *SparseTable) Strip() *SparseTable {
+	c := *t
+	c.Re, c.Im = nil, nil
+	return &c
+}
+
+// SparseFromTable reconstructs a SparseCWT from a persisted kernel table,
+// validating every structural invariant the hot loop relies on — window
+// bounds, offset monotonicity, array agreement — so a table of uncontrolled
+// origin (a crafted or corrupted template file) can never smuggle an
+// out-of-bounds read into ValuesInto.
+func SparseFromTable(t *SparseTable) (*SparseCWT, error) {
+	if t == nil {
+		return nil, fmt.Errorf("dsp: nil sparse kernel table")
+	}
+	bank := t.Bank.withDefaults()
+	if err := bank.Validate(); err != nil {
+		return nil, fmt.Errorf("dsp: sparse kernel table: %w", err)
+	}
+	if t.N < 1 {
+		return nil, fmt.Errorf("dsp: sparse kernel table trace length %d", t.N)
+	}
+	nc := len(t.Cells)
+	if len(t.Lo) != nc || len(t.Off) != nc+1 {
+		return nil, fmt.Errorf("dsp: sparse kernel table structure mismatch: %d cells, %d windows, %d offsets",
+			nc, len(t.Lo), len(t.Off))
+	}
+	if t.Off[0] != 0 {
+		return nil, fmt.Errorf("dsp: sparse kernel table offsets start at %d, want 0", t.Off[0])
+	}
+	for i, cl := range t.Cells {
+		if cl.Scale < 0 || cl.Scale >= bank.NumScales {
+			return nil, fmt.Errorf("dsp: sparse kernel table cell %d scale %d out of range [0,%d)", i, cl.Scale, bank.NumScales)
+		}
+		if cl.Time < 0 || cl.Time >= t.N {
+			return nil, fmt.Errorf("dsp: sparse kernel table cell %d time %d out of range [0,%d)", i, cl.Time, t.N)
+		}
+		width := t.Off[i+1] - t.Off[i]
+		if width < 0 {
+			return nil, fmt.Errorf("dsp: sparse kernel table offsets not monotone at cell %d", i)
+		}
+		if t.Lo[i] < 0 || t.Lo[i]+width > t.N {
+			return nil, fmt.Errorf("dsp: sparse kernel table cell %d window [%d,%d) outside trace of length %d",
+				i, t.Lo[i], t.Lo[i]+width, t.N)
+		}
+	}
+	total := t.Off[nc]
+	if len(t.Re) != total || len(t.Im) != total {
+		return nil, fmt.Errorf("dsp: sparse kernel table declares %d kernel samples, holds %d re / %d im",
+			total, len(t.Re), len(t.Im))
+	}
+	return &SparseCWT{
+		bank:  bank,
+		n:     t.N,
+		cells: append([]Cell(nil), t.Cells...),
+		lo:    append([]int(nil), t.Lo...),
+		off:   append([]int(nil), t.Off...),
+		re:    t.Re,
+		im:    t.Im,
+	}, nil
+}

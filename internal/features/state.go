@@ -2,6 +2,7 @@ package features
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/stats"
 )
@@ -48,6 +49,19 @@ func (pl *Pipeline) State() (*PipelineState, error) {
 func PipelineFromState(st *PipelineState) (*Pipeline, error) {
 	if st == nil || st.PCA == nil || len(st.Points) == 0 || st.TraceLen <= 0 {
 		return nil, errors.New("features: invalid pipeline state")
+	}
+	// The projection applies Components·(x−Mean) without re-checking shapes,
+	// so a state of uncontrolled origin (corrupted gob, a store header whose
+	// sections never materialized) must be rejected here, not at Extract.
+	comp := st.PCA.Components
+	if comp == nil || comp.Rows < 1 || comp.Cols < 1 || len(comp.Data) != comp.Rows*comp.Cols {
+		return nil, errors.New("features: invalid pipeline state: PCA basis missing or misshapen")
+	}
+	if len(st.PCA.Mean) != comp.Cols {
+		return nil, fmt.Errorf("features: invalid pipeline state: PCA mean has %d entries for %d input dims", len(st.PCA.Mean), comp.Cols)
+	}
+	if st.Z != nil && len(st.Z.Means) != len(st.Z.Stds) {
+		return nil, errors.New("features: invalid pipeline state: z-score moments disagree")
 	}
 	sel, err := NewSelectorBank(st.TraceLen, st.Cfg.Bank)
 	if err != nil {

@@ -1,0 +1,24 @@
+package linalg
+
+import "fmt"
+
+// Section is a named, shaped view of one dense float64 payload — the unit
+// the flat template store (internal/store) addresses, checksums and
+// materializes lazily. The Data slice is shared with its owner, never
+// copied: enumerating sections of a live snapshot must not double the
+// resident set.
+type Section struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major; nil in stripped state
+}
+
+// FromData wraps a row-major payload as a Rows×Cols matrix after validating
+// the claimed shape, for reattaching a lazily loaded section to restored
+// state. The data is NOT copied.
+func FromData(rows, cols int, data []float64) (*Matrix, error) {
+	if rows < 0 || cols < 0 || len(data) != rows*cols {
+		return nil, fmt.Errorf("%w: %dx%d matrix cannot hold %d elements", ErrShape, rows, cols, len(data))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}

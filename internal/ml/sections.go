@@ -1,0 +1,223 @@
+package ml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/linalg"
+)
+
+// Section codecs for the flat template store (internal/store): the big
+// matrix payloads of a classifier snapshot — Cholesky factors, kNN training
+// sets, SVM support vectors — are enumerated out of the snapshot as named
+// linalg.Sections, stripped from the eagerly decoded header, and reattached
+// on lazy materialization. Small per-class vectors (means, priors, alphas,
+// naïve-Bayes variances) stay in the header: they are a rounding error next
+// to the matrices and keeping them eager lets the header answer shape
+// questions without touching a section.
+//
+// Section names are stable format vocabulary (DESIGN §12):
+//
+//	lda.factor      pooled Cholesky factor
+//	qda.<c>.factor  class c's Cholesky factor
+//	knn.x           training matrix, one row per sample
+//	svm.<i>.sv      pair machine i's support vectors, one row per vector
+
+// Sections enumerates the matrix payloads of a snapshot, sharing (never
+// copying) float64 backing where the snapshot is already flat. On a stripped
+// snapshot the entries carry shape with nil Data. kNN training sets and SVM
+// support vectors are stored row-per-sample, flattened row-major.
+func (st *ClassifierState) Sections() []linalg.Section {
+	if st == nil {
+		return nil
+	}
+	switch {
+	case st.LDA != nil:
+		if m := st.LDA.PooledFactor; m != nil {
+			return []linalg.Section{{Name: "lda.factor", Rows: m.Rows, Cols: m.Cols, Data: m.Data}}
+		}
+	case st.QDA != nil:
+		out := make([]linalg.Section, 0, len(st.QDA.Factors))
+		for c, f := range st.QDA.Factors {
+			if f != nil {
+				out = append(out, linalg.Section{Name: "qda." + strconv.Itoa(c) + ".factor", Rows: f.Rows, Cols: f.Cols, Data: f.Data})
+			}
+		}
+		return out
+	case st.KNN != nil:
+		if k := st.KNN; k.X != nil {
+			return []linalg.Section{flattenRows("knn.x", k.X)}
+		}
+	case st.SVM != nil:
+		out := make([]linalg.Section, 0, len(st.SVM.Machines))
+		for i := range st.SVM.Machines {
+			m := &st.SVM.Machines[i]
+			if m.SVs != nil {
+				out = append(out, flattenRows("svm."+strconv.Itoa(i)+".sv", m.SVs))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// flattenRows packs a rectangular row set into one row-major section. Rows
+// are assumed rectangular (every trained snapshot's are; the store writer
+// re-checks len(Data) against the claimed shape before emitting). A stripped
+// snapshot (X == nil) never reaches here.
+func flattenRows(name string, rows [][]float64) linalg.Section {
+	r := len(rows)
+	c := 0
+	if r > 0 {
+		c = len(rows[0])
+	}
+	flat := make([]float64, 0, r*c)
+	for _, row := range rows {
+		flat = append(flat, row...)
+	}
+	return linalg.Section{Name: name, Rows: r, Cols: c, Data: flat}
+}
+
+// Strip returns a copy of the snapshot with every matrix payload removed
+// but its shape retained — the form that lives in the store's eager header.
+// The receiver is never mutated: snapshots alias live classifier state.
+func (st *ClassifierState) Strip() *ClassifierState {
+	if st == nil {
+		return nil
+	}
+	out := &ClassifierState{}
+	switch {
+	case st.LDA != nil:
+		l := *st.LDA
+		if l.PooledFactor != nil {
+			l.PooledFactor = &linalg.Matrix{Rows: l.PooledFactor.Rows, Cols: l.PooledFactor.Cols}
+		}
+		out.LDA = &l
+	case st.QDA != nil:
+		q := *st.QDA
+		q.Factors = make([]*linalg.Matrix, len(st.QDA.Factors))
+		for c, f := range st.QDA.Factors {
+			if f != nil {
+				q.Factors[c] = &linalg.Matrix{Rows: f.Rows, Cols: f.Cols}
+			}
+		}
+		out.QDA = &q
+	case st.NB != nil:
+		n := *st.NB
+		out.NB = &n
+	case st.KNN != nil:
+		k := *st.KNN
+		k.X = nil
+		out.KNN = &k
+	case st.SVM != nil:
+		s := *st.SVM
+		s.Machines = make([]BinarySVMState, len(st.SVM.Machines))
+		for i, m := range st.SVM.Machines {
+			m.SVs = nil
+			s.Machines[i] = m
+		}
+		out.SVM = &s
+	}
+	return out
+}
+
+// SetSection reattaches one lazily loaded payload to a stripped snapshot.
+// The name routes to the payload slot; the shape must match what the header
+// recorded at save time (for kNN/SVM, row count must agree with the eager
+// label/alpha vectors, which pins the payload to the snapshot it was saved
+// with); a slot that already holds data rejects the duplicate.
+func (st *ClassifierState) SetSection(name string, rows, cols int, data []float64) error {
+	if st == nil {
+		return fmt.Errorf("ml: no classifier state to attach section %q to", name)
+	}
+	if rows < 0 || cols < 0 || len(data) != rows*cols {
+		return fmt.Errorf("ml: section %q claims %dx%d but holds %d values", name, rows, cols, len(data))
+	}
+	switch {
+	case st.LDA != nil && name == "lda.factor":
+		return attachMatrix(name, st.LDA.PooledFactor, rows, cols, data)
+	case st.QDA != nil && strings.HasPrefix(name, "qda.") && strings.HasSuffix(name, ".factor"):
+		c, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "qda."), ".factor"))
+		if err != nil || c < 0 || c >= len(st.QDA.Factors) {
+			return fmt.Errorf("ml: section %q names no class of this QDA snapshot", name)
+		}
+		return attachMatrix(name, st.QDA.Factors[c], rows, cols, data)
+	case st.KNN != nil && name == "knn.x":
+		if st.KNN.X != nil {
+			return fmt.Errorf("ml: duplicate section %q", name)
+		}
+		if rows != len(st.KNN.Labels) {
+			return fmt.Errorf("ml: section %q has %d rows for %d labels", name, rows, len(st.KNN.Labels))
+		}
+		st.KNN.X = unflattenRows(rows, cols, data)
+		return nil
+	case st.SVM != nil && strings.HasPrefix(name, "svm.") && strings.HasSuffix(name, ".sv"):
+		i, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "svm."), ".sv"))
+		if err != nil || i < 0 || i >= len(st.SVM.Machines) {
+			return fmt.Errorf("ml: section %q names no pair machine of this SVM snapshot", name)
+		}
+		m := &st.SVM.Machines[i]
+		if m.SVs != nil {
+			return fmt.Errorf("ml: duplicate section %q", name)
+		}
+		if rows != len(m.Alphas) || cols != st.SVM.Dim {
+			return fmt.Errorf("ml: section %q is %dx%d, machine expects %dx%d", name, rows, cols, len(m.Alphas), st.SVM.Dim)
+		}
+		m.SVs = unflattenRows(rows, cols, data)
+		return nil
+	}
+	return fmt.Errorf("ml: unknown classifier section %q", name)
+}
+
+func attachMatrix(name string, m *linalg.Matrix, rows, cols int, data []float64) error {
+	if m == nil || m.Rows != rows || m.Cols != cols {
+		return fmt.Errorf("ml: section %q shape %dx%d does not match the snapshot header", name, rows, cols)
+	}
+	if m.Data != nil {
+		return fmt.Errorf("ml: duplicate section %q", name)
+	}
+	m.Data = data
+	return nil
+}
+
+func unflattenRows(rows, cols int, data []float64) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = data[i*cols : (i+1)*cols]
+	}
+	return out
+}
+
+// CheckComplete reports whether every payload slot this snapshot's family
+// needs is populated — the guard that keeps a template whose sections only
+// partially materialized from ever reaching RestoreClassifier (and thus from
+// ever classifying).
+func (st *ClassifierState) CheckComplete() error {
+	if st == nil {
+		return fmt.Errorf("ml: nil classifier state")
+	}
+	switch {
+	case st.LDA != nil:
+		if st.LDA.PooledFactor == nil || st.LDA.PooledFactor.Data == nil {
+			return fmt.Errorf("ml: section %q not materialized", "lda.factor")
+		}
+	case st.QDA != nil:
+		for c, f := range st.QDA.Factors {
+			if f == nil || f.Data == nil {
+				return fmt.Errorf("ml: section %q not materialized", "qda."+strconv.Itoa(c)+".factor")
+			}
+		}
+	case st.KNN != nil:
+		if st.KNN.X == nil {
+			return fmt.Errorf("ml: section %q not materialized", "knn.x")
+		}
+	case st.SVM != nil:
+		for i := range st.SVM.Machines {
+			if st.SVM.Machines[i].SVs == nil {
+				return fmt.Errorf("ml: section %q not materialized", "svm."+strconv.Itoa(i)+".sv")
+			}
+		}
+	}
+	return nil
+}

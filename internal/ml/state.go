@@ -27,10 +27,41 @@ func (l *LDA) State() (*LDAState, error) {
 	return &LDAState{Means: l.means, PooledFactor: l.chol.L, Priors: l.priors}, nil
 }
 
+// rectRows validates that rows form a non-degenerate rectangle of width p.
+// Restored snapshots come from files of uncontrolled origin, and the predict
+// paths index rows by the class count and p without re-checking — a ragged
+// or short row smuggled past restore would panic at classification time.
+func rectRows(what string, rows [][]float64, p int) error {
+	if p < 1 {
+		return fmt.Errorf("ml: %s have zero dimension", what)
+	}
+	for i, r := range rows {
+		if len(r) != p {
+			return fmt.Errorf("ml: %s row %d has dimension %d, want %d", what, i, len(r), p)
+		}
+	}
+	return nil
+}
+
+// checkPriors validates that priors cover every class (the predict paths
+// index priors[c] for c in [0, nc)).
+func checkPriors(priors []float64, nc int) error {
+	if len(priors) != nc {
+		return fmt.Errorf("ml: %d priors for %d classes", len(priors), nc)
+	}
+	return nil
+}
+
 // LDAFromState reconstructs a trained LDA.
 func LDAFromState(st *LDAState) (*LDA, error) {
 	if st == nil || len(st.Means) < 2 || st.PooledFactor == nil {
 		return nil, errors.New("ml: invalid LDA state")
+	}
+	if err := rectRows("LDA means", st.Means, len(st.Means[0])); err != nil {
+		return nil, err
+	}
+	if err := checkPriors(st.Priors, len(st.Means)); err != nil {
+		return nil, err
 	}
 	chol, err := linalg.CholeskyFromFactor(st.PooledFactor)
 	if err != nil {
@@ -80,6 +111,12 @@ func QDAFromState(st *QDAState) (*QDA, error) {
 	if st == nil || len(st.Means) < 2 || len(st.Factors) != len(st.Means) {
 		return nil, errors.New("ml: invalid QDA state")
 	}
+	if err := rectRows("QDA means", st.Means, len(st.Means[0])); err != nil {
+		return nil, err
+	}
+	if err := checkPriors(st.Priors, len(st.Means)); err != nil {
+		return nil, err
+	}
 	q := &QDA{
 		means:  st.Means,
 		priors: st.Priors,
@@ -90,6 +127,9 @@ func QDAFromState(st *QDAState) (*QDA, error) {
 		ch, err := linalg.CholeskyFromFactor(f)
 		if err != nil {
 			return nil, fmt.Errorf("ml: restoring QDA class %d: %w", c, err)
+		}
+		if f.Rows != q.p {
+			return nil, fmt.Errorf("ml: restoring QDA class %d: factor is %dx%d for dimension %d", c, f.Rows, f.Cols, q.p)
 		}
 		q.chols = append(q.chols, ch)
 		q.logDets = append(q.logDets, ch.LogDet())
@@ -116,6 +156,16 @@ func (g *GaussianNB) State() (*NBState, error) {
 func NBFromState(st *NBState) (*GaussianNB, error) {
 	if st == nil || len(st.Means) < 2 || len(st.Vars) != len(st.Means) {
 		return nil, errors.New("ml: invalid NB state")
+	}
+	p := len(st.Means[0])
+	if err := rectRows("NB means", st.Means, p); err != nil {
+		return nil, err
+	}
+	if err := rectRows("NB variances", st.Vars, p); err != nil {
+		return nil, err
+	}
+	if err := checkPriors(st.Priors, len(st.Means)); err != nil {
+		return nil, err
 	}
 	return &GaussianNB{
 		means:  st.Means,
@@ -212,6 +262,24 @@ func SVMFromState(st *SVMState) (*SVM, error) {
 		kernel = LinearKernel{}
 	default:
 		return nil, fmt.Errorf("ml: unknown kernel kind %q", st.Kernel.Kind)
+	}
+	if st.Dim < 1 || st.Classes < 2 {
+		return nil, fmt.Errorf("ml: invalid SVM state: %d classes, dimension %d", st.Classes, st.Dim)
+	}
+	for _, pr := range st.Pairs {
+		if pr[0] < 0 || pr[0] >= st.Classes || pr[1] < 0 || pr[1] >= st.Classes {
+			return nil, fmt.Errorf("ml: SVM pair (%d,%d) outside %d classes", pr[0], pr[1], st.Classes)
+		}
+	}
+	// The decision function dots every support vector against the input, so
+	// a ragged or misaligned machine would panic inside the kernel.
+	for i, m := range st.Machines {
+		if len(m.Alphas) != len(m.SVs) || len(m.SVYs) != len(m.SVs) {
+			return nil, fmt.Errorf("ml: SVM machine %d: %d alphas / %d SVs / %d labels", i, len(m.Alphas), len(m.SVs), len(m.SVYs))
+		}
+		if err := rectRows(fmt.Sprintf("SVM machine %d support vectors", i), m.SVs, st.Dim); err != nil {
+			return nil, err
+		}
 	}
 	s := NewSVM(st.C, kernel)
 	s.pairs = st.Pairs

@@ -53,14 +53,43 @@ type RegistryConfig struct {
 	Logger *slog.Logger
 }
 
-// loaded is the live state of one template once its file has been read.
+// loaded is the live state of one template once its file has been opened.
+// Loading is two-phase since schema v4: Get opens the file and decodes only
+// its header (cheap — trace length and format answer immediately), and the
+// matrix sections materialize into a wired Disassembler on the first decode
+// via disassembler(). Gob files have no header/payload split, so they
+// materialize eagerly inside load(), preserving the legacy behavior of
+// surfacing every defect as a load error.
 type loaded struct {
-	d        *core.Disassembler
-	drift    *obs.DriftMonitor
+	reg      *Registry
+	name     string
+	tpl      *core.Template
 	traceLen int
-	sparse   bool // resolved path (SparseEnabled), not the requested mode
-	fellBack bool // requested sparse-on degraded to the full path
-	loadedAt time.Time
+	format   core.TemplateFormat
+	openedAt time.Time
+
+	mu             sync.Mutex
+	d              *core.Disassembler
+	drift          *obs.DriftMonitor
+	sparse         bool // resolved path (SparseEnabled), not the requested mode
+	fellBack       bool // requested sparse-on degraded to the full path
+	matErr         error
+	materializedAt time.Time
+}
+
+// disassembler returns the wired Disassembler, materializing sections on
+// the first call. A failure is remembered and returned on every subsequent
+// call — a corrupted section cannot turn into a disk-thrash loop.
+func (st *loaded) disassembler() (*core.Disassembler, error) {
+	return st.reg.materialize(st)
+}
+
+// close releases the template's mapping or descriptor. A Disassembler
+// already materialized stays valid (its state lives on the heap); an
+// unmaterialized handle can no longer materialize — an in-flight request
+// racing a reload sees one clean 503 and retries onto the fresh file.
+func (st *loaded) close() {
+	st.tpl.Close()
 }
 
 // entry is one template file the registry knows about. Loading is lazy: the
@@ -192,6 +221,9 @@ func (r *Registry) Get(name string) (*loaded, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.stale.Swap(false) {
+		if e.state != nil {
+			e.state.close() // release the old mmap/fd; live Disassemblers are unaffected
+		}
 		e.state, e.loadErr = nil, nil
 	}
 	if e.state == nil && e.loadErr == nil {
@@ -200,25 +232,54 @@ func (r *Registry) Get(name string) (*loaded, error) {
 	return e.state, e.loadErr
 }
 
-// load reads and wires one template file. Called with the entry lock held.
+// load opens one template file. Called with the entry lock held. v4 files
+// stop at the header — the cold-start path a registry of N devices × M
+// firmware revisions needs; gob files decode whole here, as they always
+// did, so their defects keep surfacing as load errors.
 func (r *Registry) load(e *entry) (*loaded, error) {
-	f, err := os.Open(e.path)
-	if err != nil {
-		return nil, fmt.Errorf("serve: opening template %q: %w", e.name, err)
-	}
-	defer f.Close()
-	d, err := core.Load(f)
+	tpl, err := core.OpenTemplate(e.path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: loading template %q: %w", e.name, err)
 	}
-	st := &loaded{d: d, traceLen: d.TraceLen(), loadedAt: time.Now()}
+	st := &loaded{
+		reg: r, name: e.name, tpl: tpl,
+		traceLen: tpl.TraceLen(), format: tpl.Format(), openedAt: time.Now(),
+	}
+	if tpl.Format() == core.FormatGob {
+		if _, err := r.materialize(st); err != nil {
+			tpl.Close()
+			return nil, err
+		}
+		return st, nil
+	}
+	r.log.Info("template opened", "template", e.name, "format", string(st.format),
+		"trace_len", st.traceLen, "quantized", tpl.Quantized())
+	return st, nil
+}
+
+// materialize builds and wires the Disassembler on first use: sections are
+// loaded and CRC-checked, the preferred sparse mode applied, and the drift
+// monitor and decision observer attached. Both the result and a failure are
+// remembered for the handle's lifetime.
+func (r *Registry) materialize(st *loaded) (*core.Disassembler, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.d != nil || st.matErr != nil {
+		return st.d, st.matErr
+	}
+	d, err := st.tpl.Disassembler()
+	if err != nil {
+		st.matErr = fmt.Errorf("serve: materializing template %q: %w", st.name, err)
+		r.log.Warn("template failed to materialize", "template", st.name, "error", err)
+		return nil, st.matErr
+	}
 	// A legacy (v1/v2) file under -sparse=on degrades to the full path with
 	// a warning instead of failing the load — one old template must not take
 	// the registry down.
 	st.fellBack = d.SetSparseModePreferred(r.cfg.Sparse)
 	if st.fellBack {
 		r.log.Warn("template cannot run the sparse path; serving via the full CWT",
-			"template", e.name, "requested", r.cfg.Sparse.String())
+			"template", st.name, "requested", r.cfg.Sparse.String())
 	}
 	st.sparse = d.SparseEnabled()
 	// Per-template drift monitor; v1 templates lack a baseline and serve
@@ -228,26 +289,39 @@ func (r *Registry) load(e *entry) (*loaded, error) {
 	case err == nil:
 		st.drift = mon
 	case errors.Is(err, core.ErrNoDriftBaseline):
-		r.log.Info("template predates drift baselines; drift monitoring disabled", "template", e.name)
+		r.log.Info("template predates drift baselines; drift monitoring disabled", "template", st.name)
 	default:
-		return nil, fmt.Errorf("serve: drift monitor for %q: %w", e.name, err)
+		st.matErr = fmt.Errorf("serve: drift monitor for %q: %w", st.name, err)
+		return nil, st.matErr
 	}
 	if st.drift != nil || r.cfg.Decisions != nil {
 		d.SetObserver(&core.InferenceObserver{Log: r.cfg.Decisions, Drift: st.drift})
 	}
-	r.log.Info("template loaded", "template", e.name,
-		"trace_len", st.traceLen, "sparse", st.sparse, "drift", st.drift != nil)
-	return st, nil
+	st.d = d
+	st.materializedAt = time.Now()
+	r.log.Info("template loaded", "template", st.name, "format", string(st.format),
+		"trace_len", st.traceLen, "sparse", st.sparse, "drift", st.drift != nil,
+		"resident_bytes", st.tpl.ResidentBytes())
+	return d, nil
 }
 
 // TemplateStatus is the externally visible state of one registry entry, as
 // reported by /v1/templates.
 type TemplateStatus struct {
-	Name     string `json:"name"`
-	Loaded   bool   `json:"loaded"`
-	Error    string `json:"error,omitempty"`
-	TraceLen int    `json:"trace_len,omitempty"`
-	Sparse   bool   `json:"sparse,omitempty"`
+	Name   string `json:"name"`
+	Loaded bool   `json:"loaded"`
+	// Format is the on-disk format ("gob" or "v4") once the file is opened.
+	Format string `json:"format,omitempty"`
+	// Resident is true once the matrix sections have materialized into a
+	// servable Disassembler. A v4 template is Loaded (header decoded) from
+	// the first Get but Resident only after its first decode.
+	Resident bool `json:"resident,omitempty"`
+	// ResidentBytes counts decoded section bytes held for this template
+	// (v4 only; gob decodes are not section-tracked).
+	ResidentBytes int64  `json:"resident_bytes,omitempty"`
+	Error         string `json:"error,omitempty"`
+	TraceLen      int    `json:"trace_len,omitempty"`
+	Sparse        bool   `json:"sparse,omitempty"`
 	// SparseFellBack is true when the server preferred the sparse path but
 	// this template could not support it (legacy format).
 	SparseFellBack bool               `json:"sparse_fell_back,omitempty"`
@@ -271,16 +345,38 @@ func (r *Registry) PublishMetrics() {
 	for _, st := range r.Statuses() {
 		v := 0.0
 		switch {
+		case st.Error != "":
+			v = -1 // load or materialize failure — either way, unservable
 		case st.Loaded:
 			v = 1
-		case st.Error != "":
-			v = -1
 		}
 		loadedVec.With(st.Name).Set(v)
 		if st.Drift != nil {
 			m.driftState.With(st.Name).Set(driftStateValue(st.Drift.State))
 			m.driftScore.With(st.Name).Set(st.Drift.Score)
 		}
+	}
+}
+
+// Close drops every cached template handle, releasing v4 mappings and
+// descriptors (gob handles hold no resources). Disassemblers already handed
+// to in-flight requests stay valid — their state lives on the heap. The
+// registry remains usable: a later Get re-opens the file, so Close is safe
+// at daemon shutdown and between benchmark iterations alike.
+func (r *Registry) Close() {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.state != nil {
+			e.state.close()
+		}
+		e.state, e.loadErr = nil, nil
+		e.mu.Unlock()
 	}
 }
 
@@ -306,14 +402,29 @@ func (r *Registry) Statuses() []TemplateStatus {
 		case e.loadErr != nil:
 			st.Error = e.loadErr.Error()
 		case e.state != nil:
+			ls := e.state
 			st.Loaded = true
-			st.TraceLen = e.state.traceLen
-			st.Sparse = e.state.sparse
-			st.SparseFellBack = e.state.fellBack
-			st.LoadedAt = e.state.loadedAt
-			if e.state.drift != nil {
-				snap := e.state.drift.Snapshot()
-				st.Drift = &snap
+			st.Format = string(ls.format)
+			st.TraceLen = ls.traceLen
+			st.LoadedAt = ls.openedAt
+			// The materialization state lives behind its own lock; TryLock
+			// again so a template mid-materialize reports header-only state
+			// instead of stalling the snapshot behind the section loads.
+			if ls.mu.TryLock() {
+				switch {
+				case ls.matErr != nil:
+					st.Error = ls.matErr.Error()
+				case ls.d != nil:
+					st.Resident = true
+					st.ResidentBytes = ls.tpl.ResidentBytes()
+					st.Sparse = ls.sparse
+					st.SparseFellBack = ls.fellBack
+					if ls.drift != nil {
+						snap := ls.drift.Snapshot()
+						st.Drift = &snap
+					}
+				}
+				ls.mu.Unlock()
 			}
 		}
 		e.mu.Unlock()

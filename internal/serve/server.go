@@ -224,6 +224,16 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// Materialize inside the admission gate: a v4 template's first decode
+	// faults its matrix sections in here, and section memory is exactly the
+	// kind of burst the gate exists to bound. Gob templates materialized at
+	// load; for them this returns immediately.
+	d, err := tpl.disassembler()
+	if err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "template %q unavailable: %v", name, err)
+		return
+	}
+
 	traces, err := readTraces(r, s.cfg.MaxBodyBytes, tpl.traceLen)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
@@ -237,7 +247,7 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 	decodeStart := time.Now()
-	decs, err := tpl.d.DisassembleScoredCtx(ctx, traces)
+	decs, err := d.DisassembleScoredCtx(ctx, traces)
 	if st := statsFrom(r.Context()); st != nil {
 		st.decodeSecs = time.Since(decodeStart).Seconds()
 		st.traces = len(traces)

@@ -1,0 +1,413 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/avr"
+)
+
+// File is an opened v4 template: header decoded and validated eagerly,
+// payload sections untouched until LoadSection/Template ask for them.
+// Concurrent LoadSection calls are safe; Close must not race Template (the
+// core.Template handle serializes them).
+type File struct {
+	src        sectionSource
+	size       int64
+	quantized  bool
+	payloadOff int64
+	payloadLen int64
+	hdr        fileHeader
+	hdrBytes   []byte // private copy; Template re-decodes fresh state from it
+	byName     map[string]int
+
+	resident atomic.Int64 // decoded float64 bytes attributed to this file
+	closed   atomic.Bool
+}
+
+// Open maps (or opens) a v4 template file and eagerly decodes its header.
+// Defective files — wrong magic, unknown version, truncated regions, a
+// directory that cannot be valid — yield an error wrapping ErrFormat and
+// never a panic, for arbitrary input bytes (FuzzStoreOpen pins this).
+func Open(path string) (*File, error) {
+	src, size, err := openFileSource(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fromSource(src, size)
+	if err != nil {
+		src.close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// OpenReaderAt opens a template from any io.ReaderAt — the in-memory path
+// used by fuzzing and tests. The caller keeps ownership of r's lifetime.
+func OpenReaderAt(r io.ReaderAt, size int64) (*File, error) {
+	return fromSource(&readerAtSource{r: r}, size)
+}
+
+func fromSource(src sectionSource, size int64) (*File, error) {
+	if size < preludeLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the fixed prelude", ErrFormat, size)
+	}
+	pre, err := src.bytes(0, preludeLen)
+	if err != nil {
+		return nil, err
+	}
+	if string(pre[0:4]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, pre[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(pre[4:8]); v != Version {
+		if v > Version {
+			return nil, fmt.Errorf("%w: schema version %d is newer than this build supports (%d) — upgrade the tool", ErrFormat, v, Version)
+		}
+		return nil, fmt.Errorf("%w: schema version %d, want %d", ErrFormat, v, Version)
+	}
+	flags := binary.LittleEndian.Uint32(pre[8:12])
+	hlen := int64(binary.LittleEndian.Uint32(pre[12:16]))
+	if hlen == 0 || hlen > size-preludeLen {
+		return nil, fmt.Errorf("%w: header of %d bytes does not fit the %d-byte file", ErrFormat, hlen, size)
+	}
+	hraw, err := src.bytes(preludeLen, hlen)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := crc32.Checksum(hraw, castagnoli), binary.LittleEndian.Uint32(pre[16:20]); got != want {
+		return nil, fmt.Errorf("%w: header CRC mismatch (corrupted header)", ErrFormat)
+	}
+	// Copy out of the (possibly mmap'd) region: the header copy must stay
+	// valid for Template() re-decodes regardless of the mapping's fate.
+	hdrBytes := append([]byte(nil), hraw...)
+	var hdr fileHeader
+	if err := gob.NewDecoder(bytes.NewReader(hdrBytes)).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("%w: decoding header gob: %v", ErrFormat, err)
+	}
+	if hdr.Schema != Version {
+		return nil, fmt.Errorf("%w: header claims schema %d inside a version-%d file", ErrFormat, hdr.Schema, Version)
+	}
+	if hdr.State == nil {
+		return nil, fmt.Errorf("%w: header carries no template state", ErrFormat)
+	}
+	f := &File{
+		src:        src,
+		size:       size,
+		quantized:  flags&flagQuantized != 0,
+		payloadOff: preludeLen + hlen,
+		payloadLen: size - preludeLen - hlen,
+		hdr:        hdr,
+		hdrBytes:   hdrBytes,
+		byName:     make(map[string]int, len(hdr.Sections)),
+	}
+	wantEnc := EncFloat64
+	if f.quantized {
+		wantEnc = EncFloat32
+	}
+	byKey := make(map[string]*LevelState, avr.NumGroups+3)
+	for _, r := range levels(hdr.State) {
+		byKey[r.key] = r.lvl
+	}
+	for i, s := range hdr.Sections {
+		if _, dup := f.byName[s.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %q", ErrFormat, s.Name)
+		}
+		if err := routeCheck(byKey, s.Name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		if _, rest, _ := splitName(s.Name); rest == auxName {
+			if s.Encoding != EncRaw {
+				return nil, fmt.Errorf("%w: aux section %q must be raw-encoded, claims %d", ErrFormat, s.Name, s.Encoding)
+			}
+		} else if s.Encoding != wantEnc {
+			return nil, fmt.Errorf("%w: section %q encoding %d disagrees with the file flags", ErrFormat, s.Name, s.Encoding)
+		}
+		if s.Rows < 0 || s.Cols < 0 || s.Rows > maxDim || s.Cols > maxDim {
+			return nil, fmt.Errorf("%w: section %q claims impossible shape %dx%d", ErrFormat, s.Name, s.Rows, s.Cols)
+		}
+		if n := s.byteLen(); s.Offset < 0 || n > f.payloadLen || s.Offset > f.payloadLen-n {
+			return nil, fmt.Errorf("%w: section %q [%d,%d) lies past the end of the file", ErrFormat, s.Name, s.Offset, s.Offset+n)
+		}
+		f.byName[s.Name] = i
+	}
+	met.opens.Inc()
+	return f, nil
+}
+
+// routeCheck validates that a directory name addresses a payload slot the
+// header state actually has, so an unknown or misdirected section is an
+// Open-time error rather than a surprise at materialization.
+func routeCheck(byKey map[string]*LevelState, name string) error {
+	key, rest, ok := splitName(name)
+	if !ok {
+		return fmt.Errorf("unparseable section name %q", name)
+	}
+	lvl, ok := byKey[key]
+	if !ok {
+		return fmt.Errorf("section %q addresses no known level", name)
+	}
+	if !lvl.Present {
+		return fmt.Errorf("section %q addresses an absent level", name)
+	}
+	switch {
+	case rest == "pca", rest == auxName, strings.HasPrefix(rest, "clf/") && len(rest) > len("clf/"):
+		return nil
+	case rest == "cwt.re", rest == "cwt.im":
+		if lvl.Sparse == nil {
+			return fmt.Errorf("section %q addresses a level without a kernel table", name)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown section kind %q", name)
+}
+
+// Quantized reports whether matrix sections are float32-encoded.
+func (f *File) Quantized() bool { return f.quantized }
+
+// Sections returns a copy of the section directory.
+func (f *File) Sections() []SectionInfo {
+	return append([]SectionInfo(nil), f.hdr.Sections...)
+}
+
+// PayloadOffset returns the file offset of the payload region — with
+// SectionInfo.Offset, the absolute position of every section's bytes.
+func (f *File) PayloadOffset() int64 { return f.payloadOff }
+
+// HeaderState returns the eagerly decoded, stripped template state — enough
+// for shape questions (trace length, sparse capability, class tables)
+// without touching a section. Callers must treat it as read-only; Template
+// hands out independent copies for materialization.
+func (f *File) HeaderState() *TemplateState { return f.hdr.State }
+
+// ResidentBytes returns the decoded float64 bytes currently attributed to
+// this file's materialized sections.
+func (f *File) ResidentBytes() int64 { return f.resident.Load() }
+
+// sectionBytes reads and CRC-checks one section, returning its on-disk
+// bytes (which may alias the mapping — callers copy or decode before the
+// file can close).
+func (f *File) sectionBytes(name string) (SectionInfo, []byte, error) {
+	if f.closed.Load() {
+		return SectionInfo{}, nil, fmt.Errorf("store: file is closed")
+	}
+	i, ok := f.byName[name]
+	if !ok {
+		return SectionInfo{}, nil, &SectionError{Section: name, Err: fmt.Errorf("%w: no such section", ErrFormat)}
+	}
+	info := f.hdr.Sections[i]
+	raw, err := f.src.bytes(f.payloadOff+info.Offset, info.byteLen())
+	if err != nil {
+		return SectionInfo{}, nil, &SectionError{Section: name, Err: err}
+	}
+	if got := crc32.Checksum(raw, castagnoli); got != info.CRC {
+		met.sectionErrors.Inc()
+		return SectionInfo{}, nil, &SectionError{Section: name, Err: fmt.Errorf("%w: CRC mismatch (corrupted section)", ErrFormat)}
+	}
+	return info, raw, nil
+}
+
+// LoadSection reads, CRC-checks and decodes one matrix section. Corruption
+// is reported as a SectionError naming the section (wrapping ErrFormat);
+// other sections of the same file remain loadable. Aux sections hold gob
+// blobs, not floats — load those with LoadSectionBytes.
+func (f *File) LoadSection(name string) ([]float64, error) {
+	info, raw, err := f.sectionBytes(name)
+	if err != nil {
+		return nil, err
+	}
+	if info.Encoding == EncRaw {
+		return nil, &SectionError{Section: name, Err: errors.New("store: raw section holds no float payload (use LoadSectionBytes)")}
+	}
+	data := decodeFloats(raw, info.Encoding)
+	met.sectionsLoaded.Inc()
+	met.bytesResident.Add(float64(8 * len(data)))
+	f.resident.Add(int64(8 * len(data)))
+	return data, nil
+}
+
+// LoadSectionBytes reads and CRC-checks one section, returning a copy of
+// its raw on-disk bytes — the gob blob for aux sections, the encoded float
+// stream for matrix sections.
+func (f *File) LoadSectionBytes(name string) ([]byte, error) {
+	_, raw, err := f.sectionBytes(name)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), raw...)
+	met.sectionsLoaded.Inc()
+	met.bytesResident.Add(float64(len(out)))
+	f.resident.Add(int64(len(out)))
+	return out, nil
+}
+
+// decodeFloats unpacks a validated payload; len(b) is a multiple of the
+// value size by construction (byteLen bounded the read).
+func decodeFloats(b []byte, enc Encoding) []float64 {
+	if enc == EncFloat32 {
+		out := make([]float64, len(b)/4)
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
+		}
+		return out
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Template materializes the full template state: a fresh decode of the
+// header gob with every section loaded, checked and reattached. Any
+// section failure fails the whole call — a template can classify with all
+// of its payloads or with none of them. The returned state is independent
+// of the File (callers may mutate it) except that it shares the loaded
+// section data.
+func (f *File) Template() (*TemplateState, error) {
+	if f.closed.Load() {
+		return nil, fmt.Errorf("store: file is closed")
+	}
+	var hdr fileHeader
+	if err := gob.NewDecoder(bytes.NewReader(f.hdrBytes)).Decode(&hdr); err != nil {
+		// Unreachable for a header that decoded at Open; kept for safety.
+		return nil, fmt.Errorf("%w: decoding header gob: %v", ErrFormat, err)
+	}
+	st := hdr.State
+	refs := levels(st)
+	byKey := make(map[string]*LevelState, len(refs))
+	for _, r := range refs {
+		byKey[r.key] = r.lvl
+	}
+	// Aux blobs graft first regardless of directory order: they carry the
+	// classifier snapshots the matrix sections route into.
+	for _, info := range f.hdr.Sections {
+		key, rest, _ := splitName(info.Name) // validated at Open
+		if rest != auxName {
+			continue
+		}
+		blob, err := f.LoadSectionBytes(info.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := graftAux(byKey[key], blob); err != nil {
+			return nil, &SectionError{Section: info.Name, Err: fmt.Errorf("%w: %v", ErrFormat, err)}
+		}
+	}
+	for _, info := range f.hdr.Sections {
+		if _, rest, _ := splitName(info.Name); rest == auxName {
+			continue
+		}
+		data, err := f.LoadSection(info.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := route(byKey, info, data); err != nil {
+			return nil, &SectionError{Section: info.Name, Err: fmt.Errorf("%w: %v", ErrFormat, err)}
+		}
+	}
+	for _, r := range refs {
+		if err := checkLevelComplete(r.lvl); err != nil {
+			return nil, fmt.Errorf("%w: level %q: %v", ErrFormat, r.key, err)
+		}
+	}
+	return st, nil
+}
+
+// graftAux decodes a level's aux blob and reattaches the selection and
+// normalization structure the writer moved out of the eager header.
+func graftAux(lvl *LevelState, blob []byte) error {
+	var aux levelAux
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&aux); err != nil {
+		return fmt.Errorf("decoding aux gob: %v", err)
+	}
+	if lvl.Pipe == nil {
+		return errors.New("aux for a level without pipeline state")
+	}
+	if lvl.Pipe.Points != nil || lvl.Clf != nil {
+		return errors.New("duplicate aux payload")
+	}
+	lvl.Pipe.Points = aux.Points
+	lvl.Pipe.Pairs = aux.Pairs
+	lvl.Pipe.PairIdx = aux.PairIdx
+	lvl.Pipe.Z = aux.Z
+	lvl.Clf = aux.Clf
+	if lvl.Pipe.PCA != nil {
+		lvl.Pipe.PCA.Mean, lvl.Pipe.PCA.EigVals = aux.PCAMean, aux.PCAEig
+	}
+	if lvl.Sparse == nil {
+		if aux.Cells != nil || aux.Lo != nil || aux.Off != nil {
+			return errors.New("aux carries kernel structure for a level without a table")
+		}
+		return nil
+	}
+	lvl.Sparse.Cells, lvl.Sparse.Lo, lvl.Sparse.Off = aux.Cells, aux.Lo, aux.Off
+	return nil
+}
+
+// route reattaches one loaded payload to its slot in the fresh state copy.
+func route(byKey map[string]*LevelState, info SectionInfo, data []float64) error {
+	key, rest, _ := splitName(info.Name) // validated at Open
+	lvl := byKey[key]
+	switch {
+	case rest == "pca":
+		return lvl.Pipe.SetSection(rest, info.Rows, info.Cols, data)
+	case strings.HasPrefix(rest, "clf/"):
+		return lvl.Clf.SetSection(strings.TrimPrefix(rest, "clf/"), info.Rows, info.Cols, data)
+	case rest == "cwt.re":
+		if lvl.Sparse.Re != nil {
+			return errors.New("duplicate kernel payload")
+		}
+		lvl.Sparse.Re = data
+		return nil
+	default: // "cwt.im", the only name routeCheck lets through
+		if lvl.Sparse.Im != nil {
+			return errors.New("duplicate kernel payload")
+		}
+		lvl.Sparse.Im = data
+		return nil
+	}
+}
+
+// checkLevelComplete rejects a level whose header promises payloads the
+// directory never delivered — the "no partial-state template can ever
+// classify" guarantee.
+func checkLevelComplete(lvl *LevelState) error {
+	if !lvl.Present {
+		return nil
+	}
+	if err := lvl.Pipe.CheckComplete(); err != nil {
+		return err
+	}
+	if lvl.Pipe != nil && len(lvl.Pipe.Points) == 0 {
+		return errors.New("selection structure (aux section) not materialized")
+	}
+	if err := lvl.Clf.CheckComplete(); err != nil {
+		return err
+	}
+	if lvl.Sparse != nil && (lvl.Sparse.Re == nil || lvl.Sparse.Im == nil) {
+		return errors.New("sparse kernel payloads not materialized")
+	}
+	if lvl.Sparse != nil && (lvl.Sparse.Cells == nil || lvl.Sparse.Lo == nil || lvl.Sparse.Off == nil) {
+		return errors.New("sparse kernel structure (aux section) not materialized")
+	}
+	return nil
+}
+
+// Close releases the mapping or descriptor and retires the file's resident
+// bytes from the gauge. Materialized TemplateStates stay valid — their
+// section data was decoded into ordinary heap slices.
+func (f *File) Close() error {
+	if f.closed.Swap(true) {
+		return nil
+	}
+	met.bytesResident.Add(float64(-f.resident.Swap(0)))
+	return f.src.close()
+}

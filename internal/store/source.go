@@ -1,0 +1,61 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// sectionSource abstracts where a file's bytes come from: an mmap'd region
+// on linux (zero-copy slicing) or any io.ReaderAt (portable fallback, and
+// the path OpenReaderAt uses for in-memory fuzzing).
+type sectionSource interface {
+	// bytes returns n bytes at off. The returned slice may alias a shared
+	// mapping and is only valid until close; callers must not mutate it and
+	// must copy anything they keep.
+	bytes(off, n int64) ([]byte, error)
+	close() error
+}
+
+// readerAtSource is the portable fallback: every read allocates and copies.
+type readerAtSource struct {
+	r      io.ReaderAt
+	closer io.Closer // nil when the caller owns the reader's lifetime
+}
+
+func (s *readerAtSource) bytes(off, n int64) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := s.r.ReadAt(b, off); err != nil {
+		return nil, fmt.Errorf("store: reading %d bytes at %d: %w", n, off, err)
+	}
+	return b, nil
+}
+
+func (s *readerAtSource) close() error {
+	if s.closer == nil {
+		return nil
+	}
+	return s.closer.Close()
+}
+
+// openFileSource opens path as a sectionSource, preferring mmap where the
+// platform file provides it (source_linux.go) and falling back to ReadAt.
+func openFileSource(path string) (sectionSource, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	size := info.Size()
+	if src := mmapSource(f, size); src != nil {
+		// The mapping outlives the descriptor; holding the file open too
+		// would double the fd footprint of a large registry.
+		f.Close()
+		return src, size, nil
+	}
+	return &readerAtSource{r: f, closer: f}, size, nil
+}

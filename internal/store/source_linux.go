@@ -1,0 +1,47 @@
+//go:build linux
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSrc serves section reads as zero-copy slices of a read-only shared
+// mapping. Decoded sections copy out of the mapping (bytes become float64s)
+// so nothing aliases it after materialization; the header gob is likewise
+// consumed through a copying reader. Munmap happens at close.
+type mmapSrc struct {
+	data []byte
+}
+
+func (s *mmapSrc) bytes(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > int64(len(s.data)) {
+		return nil, fmt.Errorf("store: read [%d,%d) outside mapping of %d bytes", off, off+n, len(s.data))
+	}
+	return s.data[off : off+n : off+n], nil
+}
+
+func (s *mmapSrc) close() error {
+	if s.data == nil {
+		return nil
+	}
+	data := s.data
+	s.data = nil
+	return syscall.Munmap(data)
+}
+
+// mmapSource maps f read-only, returning nil (caller falls back to ReadAt)
+// when the file cannot be mapped — empty files, exotic filesystems, or a
+// size that does not fit the platform int.
+func mmapSource(f *os.File, size int64) sectionSource {
+	if size <= 0 || size != int64(int(size)) {
+		return nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil
+	}
+	return &mmapSrc{data: data}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// mmapSource always declines off linux; openFileSource falls back to the
+// portable ReadAt source.
+func mmapSource(f *os.File, size int64) sectionSource { return nil }

@@ -1,0 +1,500 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/features"
+	"repro/internal/linalg"
+	"repro/internal/ml"
+	"repro/internal/stats"
+	"repro/internal/testkit"
+)
+
+// tinyState builds a hand-sized template state that exercises every section
+// family the format defines: a PCA basis per level, one classifier of each
+// matrix-bearing family (LDA, QDA, kNN, SVM), and a sparse kernel table.
+// The values are chosen non-float32-representable (thirds, sevenths) so the
+// quantization property below actually measures rounding.
+func tinyState() *TemplateState {
+	vals := func(n int, seed float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = (seed + float64(i)) / 3 * (1 + seed/7)
+		}
+		return out
+	}
+	mat := func(r, c int, seed float64) *linalg.Matrix {
+		return &linalg.Matrix{Rows: r, Cols: c, Data: vals(r*c, seed)}
+	}
+	rows := func(r, c int, seed float64) [][]float64 {
+		out := make([][]float64, r)
+		for i := range out {
+			out[i] = vals(c, seed+float64(i))
+		}
+		return out
+	}
+	pipe := func(seed float64) *features.PipelineState {
+		return &features.PipelineState{
+			TraceLen: 16,
+			Points:   []features.Point{{Scale: 0, Time: 1}, {Scale: 1, Time: 2}},
+			Pairs: []features.PairFeatures{{
+				A: 0, B: 1,
+				Points: []features.Point{{Scale: 0, Time: 1}},
+				KL:     vals(1, seed+0.25),
+			}},
+			PairIdx: [][]int{{0}},
+			Z:       &stats.ZScoreNormalizer{Means: vals(3, seed+0.125), Stds: vals(3, seed+0.375)},
+			PCA: &features.PCA{
+				Mean:       vals(3, seed),
+				Components: mat(2, 3, seed+0.5),
+				EigVals:    vals(2, seed+0.75),
+			},
+		}
+	}
+	st := &TemplateState{HaveRegs: true}
+	st.Group = LevelState{
+		Present: true,
+		Pipe:    pipe(1),
+		Clf: &ml.ClassifierState{LDA: &ml.LDAState{
+			Means:        rows(2, 2, 2),
+			PooledFactor: mat(2, 2, 3),
+			Priors:       []float64{0.5, 0.5},
+		}},
+		Sparse: &dsp.SparseTable{
+			N:     16,
+			Cells: []dsp.Cell{{Scale: 0, Time: 1}, {Scale: 1, Time: 2}},
+			Lo:    []int{0, 1},
+			Off:   []int{0, 3, 5},
+			Re:    vals(5, 4),
+			Im:    vals(5, 5),
+		},
+	}
+	st.Instr[0] = LevelState{
+		Present: true,
+		Pipe:    pipe(6),
+		Clf: &ml.ClassifierState{QDA: &ml.QDAState{
+			Means:   rows(2, 2, 7),
+			Factors: []*linalg.Matrix{mat(2, 2, 8), mat(2, 2, 9)},
+			Priors:  []float64{0.25, 0.75},
+		}},
+	}
+	st.Instr[1] = LevelState{
+		Present: true,
+		Pipe:    pipe(10),
+		Clf: &ml.ClassifierState{KNN: &ml.KNNState{
+			K: 1, X: rows(3, 2, 11), Labels: []int{0, 1, 0},
+		}},
+	}
+	st.Rd = LevelState{
+		Present: true,
+		Pipe:    pipe(12),
+		Clf: &ml.ClassifierState{SVM: &ml.SVMState{
+			C: 1, Kernel: ml.SVMKernelState{Kind: "linear"},
+			Machines: []ml.BinarySVMState{{
+				Alphas: vals(2, 13), SVs: rows(2, 2, 14), SVYs: []float64{1, -1}, Bias: 0.25,
+			}},
+			Pairs: [][2]int{{0, 1}}, Classes: 2, Dim: 2,
+		}},
+	}
+	return st
+}
+
+// expectedPayloads enumerates the tiny state's section payloads by name:
+// float values for matrix sections, raw gob bytes for the per-level aux
+// blobs.
+func expectedPayloads(t testing.TB, st *TemplateState) (map[string][]float64, map[string][]byte) {
+	t.Helper()
+	_, secs, err := collect(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floats := make(map[string][]float64, len(secs))
+	raws := make(map[string][]byte)
+	for _, s := range secs {
+		if s.raw != nil {
+			raws[s.info.Name] = s.raw
+		} else {
+			floats[s.info.Name] = s.data
+		}
+	}
+	return floats, raws
+}
+
+func writeBytes(t testing.TB, st *TemplateState, opts Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, st, opts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openBytes(t testing.TB, b []byte) *File {
+	t.Helper()
+	f, err := OpenReaderAt(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// rewriteHeader decodes a valid file's header, applies mutate, and reassembles
+// the file with a recomputed header CRC and the original payload bytes —
+// the test path for crafting directories that Write would refuse to emit.
+func rewriteHeader(t testing.TB, file []byte, mutate func(h *fileHeader)) []byte {
+	t.Helper()
+	hlen := int64(binary.LittleEndian.Uint32(file[12:16]))
+	var hdr fileHeader
+	if err := gob.NewDecoder(bytes.NewReader(file[preludeLen : preludeLen+hlen])).Decode(&hdr); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&hdr)
+	var hbuf bytes.Buffer
+	if err := gob.NewEncoder(&hbuf).Encode(&hdr); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 0, preludeLen+hbuf.Len()+len(file)-int(preludeLen+hlen))
+	out = append(out, file[:preludeLen]...)
+	binary.LittleEndian.PutUint32(out[12:16], uint32(hbuf.Len()))
+	binary.LittleEndian.PutUint32(out[16:20], crc32.Checksum(hbuf.Bytes(), castagnoli))
+	out = append(out, hbuf.Bytes()...)
+	out = append(out, file[preludeLen+hlen:]...)
+	return out
+}
+
+// TestRoundTripBitwiseAnySectionOrder is the core format property: a float64
+// save → open → materialize returns every payload bit-for-bit, regardless of
+// the order sections were laid out in the payload region.
+func TestRoundTripBitwiseAnySectionOrder(t *testing.T) {
+	st := tinyState()
+	want, wantAux := expectedPayloads(t, st)
+	testkit.Check(t, testkit.CheckConfig{Runs: 25}, func(g *testkit.G) error {
+		testShuffleSections = func(secs []section) {
+			g.Rng.Shuffle(len(secs), func(i, j int) { secs[i], secs[j] = secs[j], secs[i] })
+		}
+		defer func() { testShuffleSections = nil }()
+		b := writeBytes(t, st, Options{})
+		f, err := OpenReaderAt(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if f.Quantized() {
+			return errors.New("unquantized file reports Quantized")
+		}
+		if got := len(f.Sections()); got != len(want)+len(wantAux) {
+			return fmt.Errorf("directory holds %d sections, want %d", got, len(want)+len(wantAux))
+		}
+		for name, wv := range want {
+			got, err := f.LoadSection(name)
+			if err != nil {
+				return err
+			}
+			if len(got) != len(wv) {
+				return fmt.Errorf("section %q decoded %d values, want %d", name, len(got), len(wv))
+			}
+			for i := range wv {
+				if math.Float64bits(got[i]) != math.Float64bits(wv[i]) {
+					return fmt.Errorf("section %q value %d = %v, want bitwise %v", name, i, got[i], wv[i])
+				}
+			}
+		}
+		for name, wb := range wantAux {
+			got, err := f.LoadSectionBytes(name)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, wb) {
+				return fmt.Errorf("aux section %q round-tripped to different bytes", name)
+			}
+		}
+		// Materialize the whole state and spot-check reattachment routed the
+		// payloads — matrix and aux structure alike — to the right slots.
+		mst, err := f.Template()
+		if err != nil {
+			return err
+		}
+		if got := mst.Group.Pipe.PCA.Components.Data; !bitsEqual(got, want["group/pca"]) {
+			return errors.New("materialized group PCA basis differs from the saved payload")
+		}
+		if got := mst.Group.Sparse.Im; !bitsEqual(got, want["group/cwt.im"]) {
+			return errors.New("materialized kernel table differs from the saved payload")
+		}
+		if got := mst.Rd.Clf.SVM.Machines[0].SVs; len(got) != 2 || !bitsEqual(append(append([]float64{}, got[0]...), got[1]...), want["rd/clf/svm.0.sv"]) {
+			return errors.New("materialized SVM support vectors differ from the saved payload")
+		}
+		// Aux-carried structure comes back exactly.
+		gp, op := mst.Group.Pipe, st.Group.Pipe
+		if len(gp.Points) != len(op.Points) || gp.Points[1] != op.Points[1] {
+			return errors.New("materialized selected points differ from the saved state")
+		}
+		if len(gp.Pairs) != 1 || gp.Pairs[0].A != op.Pairs[0].A || !bitsEqual(gp.Pairs[0].KL, op.Pairs[0].KL) {
+			return errors.New("materialized pair tables differ from the saved state")
+		}
+		if gp.Z == nil || !bitsEqual(gp.Z.Means, op.Z.Means) || !bitsEqual(gp.Z.Stds, op.Z.Stds) {
+			return errors.New("materialized z-score moments differ from the saved state")
+		}
+		if !bitsEqual(gp.PCA.Mean, op.PCA.Mean) || !bitsEqual(gp.PCA.EigVals, op.PCA.EigVals) {
+			return errors.New("materialized PCA mean/eigenvalues differ from the saved state")
+		}
+		gs, ws := mst.Group.Sparse, st.Group.Sparse
+		if len(gs.Cells) != len(ws.Cells) || gs.Cells[1] != ws.Cells[1] ||
+			len(gs.Lo) != len(ws.Lo) || gs.Lo[1] != ws.Lo[1] ||
+			len(gs.Off) != len(ws.Off) || gs.Off[2] != ws.Off[2] {
+			return errors.New("materialized kernel structure differs from the saved state")
+		}
+		// And the eager header really is stripped of the bulk.
+		hs := f.HeaderState()
+		if hs.Group.Pipe.Points != nil || hs.Group.Pipe.Z != nil || hs.Group.Pipe.PCA.Mean != nil {
+			return errors.New("header state still carries aux-destined structure")
+		}
+		if hs.Group.Clf != nil || hs.Rd.Clf != nil {
+			return errors.New("header state still carries classifier snapshots")
+		}
+		if hs.Group.Sparse.Cells != nil {
+			return errors.New("header state still carries kernel cell structure")
+		}
+		return nil
+	})
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuantizedRoundTripExactRule pins the quantization contract: every
+// decoded value is exactly float64(float32(x)) — the documented ≤2⁻²⁴
+// relative rounding, stated as an equality rather than a tolerance.
+func TestQuantizedRoundTripExactRule(t *testing.T) {
+	st := tinyState()
+	want, wantAux := expectedPayloads(t, st)
+	f := openBytes(t, writeBytes(t, st, Options{Quantize: true}))
+	if !f.Quantized() {
+		t.Fatal("quantized file does not report Quantized")
+	}
+	// Aux blobs are exempt from quantization: byte-identical either way.
+	for name, wb := range wantAux {
+		got, err := f.LoadSectionBytes(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wb) {
+			t.Fatalf("aux section %q altered by quantization", name)
+		}
+	}
+	for name, wv := range want {
+		got, err := f.LoadSection(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range wv {
+			q := float64(float32(x))
+			if math.Float64bits(got[i]) != math.Float64bits(q) {
+				t.Fatalf("section %q value %d = %v, want float64(float32(%v)) = %v", name, i, got[i], x, q)
+			}
+			if x != 0 {
+				if rel := math.Abs((q - x) / x); rel > math.Exp2(-24) {
+					t.Fatalf("section %q value %d rounding %.3g exceeds the documented 2^-24 bound", name, i, rel)
+				}
+			}
+		}
+	}
+	if _, err := f.Template(); err != nil {
+		t.Fatalf("quantized template failed to materialize: %v", err)
+	}
+}
+
+// TestOpenRejectsCraftedDirectories covers the Open-time directory screen:
+// each hand-mutated header must be rejected with ErrFormat before any
+// payload is touched.
+func TestOpenRejectsCraftedDirectories(t *testing.T) {
+	valid := writeBytes(t, tinyState(), Options{})
+	cases := []struct {
+		name   string
+		mutate func(h *fileHeader)
+	}{
+		{"section past EOF", func(h *fileHeader) { h.Sections[0].Offset = 1 << 40 }},
+		{"negative offset", func(h *fileHeader) { h.Sections[0].Offset = -8 }},
+		{"impossible shape", func(h *fileHeader) { h.Sections[0].Rows = maxDim + 1 }},
+		{"negative rows", func(h *fileHeader) { h.Sections[0].Rows = -1 }},
+		{"overflowing product", func(h *fileHeader) { h.Sections[0].Rows = maxDim; h.Sections[0].Cols = maxDim }},
+		{"duplicate name", func(h *fileHeader) { h.Sections[1].Name = h.Sections[0].Name }},
+		{"unroutable name", func(h *fileHeader) { h.Sections[0].Name = "group/clfx" }},
+		{"absent level", func(h *fileHeader) { h.Sections[0].Name = "rr/pca" }},
+		{"kernel on table-less level", func(h *fileHeader) { h.Sections[0].Name = "g1/cwt.re" }},
+		{"encoding disagrees with flags", func(h *fileHeader) { h.Sections[0].Encoding = EncFloat32 }},
+		{"matrix claiming raw encoding", func(h *fileHeader) { h.Sections[0].Encoding = EncRaw }},
+		{"aux claiming float encoding", func(h *fileHeader) {
+			for i := range h.Sections {
+				if h.Sections[i].Name == "group/aux" {
+					h.Sections[i].Encoding = EncFloat64
+				}
+			}
+		}},
+		{"wrong schema", func(h *fileHeader) { h.Schema = Version + 1 }},
+		{"missing state", func(h *fileHeader) { h.State = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := rewriteHeader(t, valid, tc.mutate)
+			_, err := OpenReaderAt(bytes.NewReader(b), int64(len(b)))
+			if !errors.Is(err, ErrFormat) {
+				t.Fatalf("crafted directory (%s) opened with err=%v, want ErrFormat", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestOpenRejectsBadPrelude covers the fixed-size region's own screen.
+func TestOpenRejectsBadPrelude(t *testing.T) {
+	valid := writeBytes(t, tinyState(), Options{})
+	flip := func(b []byte, i int) []byte {
+		out := append([]byte(nil), b...)
+		out[i] ^= 0x40
+		return out
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"short prelude":    valid[:preludeLen-1],
+		"bad magic":        flip(valid, 0),
+		"future version":   flip(valid, 4),
+		"header truncated": valid[:preludeLen+5],
+		"header bit flip":  flip(valid, preludeLen+3),
+		"header CRC flip":  flip(valid, 17),
+		"huge header len":  flip(valid, 15),
+	}
+	for name, b := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := OpenReaderAt(bytes.NewReader(b), int64(len(b))); !errors.Is(err, ErrFormat) {
+				t.Fatalf("open returned %v, want ErrFormat", err)
+			}
+		})
+	}
+	// The future-version message should tell the operator to upgrade, not
+	// just reject.
+	_, err := OpenReaderAt(bytes.NewReader(flip(valid, 4)), int64(len(valid)))
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("upgrade")) {
+		t.Fatalf("future-version rejection %v does not point at upgrading", err)
+	}
+}
+
+// TestIncompleteDirectoryCannotMaterialize drops one directory entry at a
+// time from a valid file: Open still succeeds (the header is coherent), but
+// Template must refuse — a template classifies with all of its payloads or
+// with none of them.
+func TestIncompleteDirectoryCannotMaterialize(t *testing.T) {
+	valid := writeBytes(t, tinyState(), Options{})
+	ref := openBytes(t, valid)
+	for _, drop := range ref.Sections() {
+		t.Run(drop.Name, func(t *testing.T) {
+			b := rewriteHeader(t, valid, func(h *fileHeader) {
+				keep := h.Sections[:0]
+				for _, s := range h.Sections {
+					if s.Name != drop.Name {
+						keep = append(keep, s)
+					}
+				}
+				h.Sections = keep
+			})
+			f, err := OpenReaderAt(bytes.NewReader(b), int64(len(b)))
+			if err != nil {
+				t.Fatalf("dropping %q should leave a coherent header, got %v", drop.Name, err)
+			}
+			defer f.Close()
+			if _, err := f.Template(); !errors.Is(err, ErrFormat) {
+				t.Fatalf("materialized without section %q (err=%v)", drop.Name, err)
+			}
+		})
+	}
+}
+
+// TestWriterRejectsDefectiveStates pins the writer-side screens.
+func TestWriterRejectsDefectiveStates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, Options{}); err == nil {
+		t.Fatal("nil state accepted")
+	}
+	st := tinyState()
+	st.Instr[2] = LevelState{Present: true} // present without pipe/clf
+	if err := Write(&buf, st, Options{}); err == nil {
+		t.Fatal("present level without snapshots accepted")
+	}
+	st = tinyState()
+	st.Group.Pipe.PCA.Components.Rows = 7 // shape no longer matches the data
+	if err := Write(&buf, st, Options{}); err == nil {
+		t.Fatal("misshapen section accepted")
+	}
+	st = tinyState()
+	st.Rd.Pipe.Points = nil // not a fitted pipeline: nothing was selected
+	if err := Write(&buf, st, Options{}); err == nil {
+		t.Fatal("pipeline without selected points accepted")
+	}
+}
+
+// TestWriteDoesNotMutateState guards the aliasing contract: Write strips
+// copies, never the caller's live state.
+func TestWriteDoesNotMutateState(t *testing.T) {
+	st := tinyState()
+	writeBytes(t, st, Options{})
+	if st.Group.Pipe.PCA.Components.Data == nil {
+		t.Fatal("Write stripped the caller's pipeline state")
+	}
+	if st.Group.Clf.LDA.PooledFactor.Data == nil {
+		t.Fatal("Write stripped the caller's classifier state")
+	}
+	if st.Group.Sparse.Re == nil {
+		t.Fatal("Write stripped the caller's kernel table")
+	}
+	if st.Group.Pipe.Points == nil || st.Group.Pipe.Pairs == nil || st.Group.Pipe.Z == nil ||
+		st.Group.Pipe.PCA.Mean == nil || st.Group.Pipe.PCA.EigVals == nil {
+		t.Fatal("Write stripped the caller's aux-destined selection structure")
+	}
+	if st.Group.Sparse.Cells == nil || st.Group.Sparse.Lo == nil || st.Group.Sparse.Off == nil {
+		t.Fatal("Write stripped the caller's kernel cell structure")
+	}
+}
+
+// TestClosedFileRefusesLoads pins the close semantics: loads and
+// materialization fail cleanly after Close, and Close is idempotent.
+func TestClosedFileRefusesLoads(t *testing.T) {
+	b := writeBytes(t, tinyState(), Options{})
+	f, err := OpenReaderAt(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadSection("group/pca"); err != nil {
+		t.Fatal(err)
+	}
+	if f.ResidentBytes() == 0 {
+		t.Fatal("resident bytes not accounted after a load")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal("second Close not idempotent:", err)
+	}
+	if _, err := f.LoadSection("group/pca"); err == nil {
+		t.Fatal("LoadSection succeeded on a closed file")
+	}
+	if _, err := f.Template(); err == nil {
+		t.Fatal("Template succeeded on a closed file")
+	}
+}

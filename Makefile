@@ -40,7 +40,7 @@ bench:
 # allocation budget), or when a v4 registry cold start (header-only opens)
 # is not at least 10x cheaper than the same 16 templates as gob.
 bench-compare:
-	BENCH_COMPARE=1 $(GO) test -run 'TestMetricsOverheadBudget|TestDecisionOverheadBudget|TestSparseSpeedupBudget|TestLabeledOverheadBudget|TestStoreColdStartBudget' -v .
+	BENCH_COMPARE=1 $(GO) test -run 'TestMetricsOverheadBudget|TestDecisionOverheadBudget|TestSparseSpeedupBudget|TestLabeledOverheadBudget|TestStoreColdStartBudget|TestTracingOverheadBudget' -v .
 
 # Every native fuzz target, run briefly from its committed seed corpus. Go
 # allows one -fuzz pattern per invocation, so iterate; -run '^$$' skips the

@@ -77,6 +77,41 @@ func BenchmarkLabeledRequestAccounting(b *testing.B) {
 	}
 }
 
+// BenchmarkRequestTracingBundle times everything request tracing adds to an
+// UNSAMPLED request — the common case a 1% sample rate leaves: mint a trace
+// ID, build the fine per-request tracer, open the root plus the handler's
+// fine stage spans with their attrs, format the traceparent echo, and run the
+// tail-sampling decision to a drop. Export and ring push are excluded on
+// purpose: they only run for kept traces, off the common path.
+func BenchmarkRequestTracingBundle(b *testing.B) {
+	sampler := obs.NewTailSampler(0, obs.NewHistogram(obs.DurationBuckets()))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracer := obs.NewTracer()
+		tracer.Fine = true
+		tracer.MaxSpans = 512
+		tracer.SetTraceContext(obs.NewTraceID(), obs.SpanID{})
+		sctx, root := obs.Span(obs.WithTracer(ctx, tracer), "serve.request")
+		_ = obs.FormatTraceparent(tracer.TraceID(), root.ExportID(), true)
+		load := root.FineChild("serve.template.load")
+		load.End()
+		body := root.FineChild("serve.decode.body")
+		body.SetAttr("traces", 1)
+		body.End()
+		classify := root.FineChild("core.classify")
+		classify.SetAttr("confidence", 0.99)
+		classify.End()
+		root.SetAttr("status", 200)
+		root.End()
+		if keep, _ := sampler.Decide(200, 0, false); keep {
+			b.Fatal("rate-0 sampler kept a healthy trace")
+		}
+		_ = sctx
+	}
+}
+
 // minNsPerOp runs fn `rounds` times via testing.Benchmark and returns the
 // fastest ns/op — the minimum is the standard noise-rejecting statistic for
 // a throughput comparison on a shared machine.
@@ -142,6 +177,30 @@ func TestLabeledOverheadBudget(t *testing.T) {
 		bundle, decode, frac*100, bundleBudgetNs)
 	if frac > 0.03 && bundle > bundleBudgetNs {
 		t.Fatalf("labeled request accounting costs %.0f ns (%.2f%% of a decode); budget is 3%% or %.0f ns",
+			bundle, frac*100, bundleBudgetNs)
+	}
+}
+
+// TestTracingOverheadBudget is the request-tracing bench-compare gate: the
+// whole unsampled-request tracing bundle (trace ID mint, fine tracer, root +
+// stage spans, traceparent echo, tail-sample drop) must cost no more than 3%
+// of one per-trace sparse decode, or stay under an absolute 5 µs — a real
+// request decodes a whole batch and pays the bundle once, so either bound
+// keeps tracing far below measurement noise on the serving path. Env-gated
+// like the other timing gates; `make bench-compare` opts in.
+func TestTracingOverheadBudget(t *testing.T) {
+	if os.Getenv("BENCH_COMPARE") == "" {
+		t.Skip("set BENCH_COMPARE=1 (or run `make bench-compare`) to enable the overhead gate")
+	}
+	const rounds = 3
+	const bundleBudgetNs = 5000.0
+	bundle := minNsPerOp(rounds, BenchmarkRequestTracingBundle)
+	decode := minNsPerOp(rounds, BenchmarkPipelineClassifyOneSparse)
+	frac := bundle / decode
+	fmt.Printf("bench-compare: request tracing bundle %.0f ns, sparse decode %.0f ns/trace, ratio %.2f%% (budget 3%% or %.0f ns absolute)\n",
+		bundle, decode, frac*100, bundleBudgetNs)
+	if frac > 0.03 && bundle > bundleBudgetNs {
+		t.Fatalf("request tracing costs %.0f ns (%.2f%% of a decode); budget is 3%% or %.0f ns",
 			bundle, frac*100, bundleBudgetNs)
 	}
 }

@@ -77,6 +77,8 @@ func main() {
 		err = runDrift(ctx, args)
 	case "convert":
 		err = runConvert(args)
+	case "trace":
+		err = runTrace(args)
 	default:
 		usage()
 	}
@@ -87,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scdis <groups|asm|decode|demo|detect|drift|convert> [args]")
+	fmt.Fprintln(os.Stderr, "usage: scdis <groups|asm|decode|demo|detect|drift|convert|trace> [args]")
 	os.Exit(2)
 }
 

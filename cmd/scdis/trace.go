@@ -1,0 +1,79 @@
+package main
+
+// scdis trace: pretty-print a scdisd trace export (JSONL, one trace per
+// line) as indented span trees with total and self times — the offline half
+// of the request-tracing pipeline. Typical flow: serve with
+// `scdisd -trace-export traces.jsonl`, reproduce the slow request, then
+// `scdis trace traces.jsonl` (or filter one trace with -id).
+//
+//	scdis trace [-id traceid] [-slowest N] [file|-]
+//
+// With no file (or "-") the export is read from stdin, so it pipes:
+// `tail -n 50 traces.jsonl | scdis trace -slowest 3`.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	id := fs.String("id", "", "print only the trace with this trace ID (prefix match)")
+	slowest := fs.Int("slowest", 0, "print only the N slowest traces (0 = all, in file order)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	name := "-"
+	if fs.NArg() > 1 {
+		return fmt.Errorf("trace takes at most one export file, got %d", fs.NArg())
+	}
+	if fs.NArg() == 1 && fs.Arg(0) != "-" {
+		name = fs.Arg(0)
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	traces, err := obs.ReadExportedTraces(in)
+	if err != nil {
+		return err
+	}
+	if *id != "" {
+		kept := traces[:0]
+		for _, tr := range traces {
+			if strings.HasPrefix(tr.TraceID, *id) {
+				kept = append(kept, tr)
+			}
+		}
+		traces = kept
+		if len(traces) == 0 {
+			return fmt.Errorf("no trace with ID prefix %q in %s", *id, name)
+		}
+	}
+	if *slowest > 0 && len(traces) > *slowest {
+		sort.SliceStable(traces, func(i, j int) bool { return traces[i].DurNS > traces[j].DurNS })
+		traces = traces[:*slowest]
+	}
+	if len(traces) == 0 {
+		fmt.Println("no traces in export")
+		return nil
+	}
+	for i, tr := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := obs.WriteTraceTree(os.Stdout, tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

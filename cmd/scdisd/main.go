@@ -23,11 +23,23 @@
 //	GET  /healthz                     readiness alias (compatibility)
 //	GET  /metrics, /metrics.json      process metrics (Prometheus / JSON)
 //	POST /admin/reload                rescan the template directory
+//	GET  /debug/requests              recent tail-sampled requests (JSON, or
+//	                                  ?format=text for a table)
+//	GET  /debug/buildinfo             module version, VCS revision, go version
 //
 // Observability: every request is counted into labeled metrics
 // (route/template/status), and -access-log writes one JSON line per request.
 // A runtime collector samples goroutines, heap, GC pauses and per-template
 // load/drift state every -runtime-interval.
+//
+// Tracing: every request runs under its own span tree (middleware →
+// admission wait → body decode → template load → per-level classification).
+// W3C traceparent headers are ingested and echoed, so callers can correlate
+// across services. A tail sampler keeps every error/429/slow trace and a
+// -trace-sample fraction of the rest; kept traces land in /debug/requests
+// and, with -trace-export, as JSONL readable by 'scdis trace'. Latency
+// histograms carry the current trace ID as an exemplar in /metrics and
+// /metrics.json.
 //
 // Backpressure: at most -max-inflight batches decode concurrently and at
 // most -max-queue wait; beyond that the server sheds with 429 and a
@@ -73,6 +85,10 @@ func run(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	accessLog := fs.String("access-log", "", "write one JSON access-log line per request to this file (\"-\" = stdout)")
+	traceExport := fs.String("trace-export", "", "write tail-sampled request traces as JSONL to this file (\"-\" = stdout); readable with 'scdis trace'")
+	traceSample := fs.Float64("trace-sample", 0.01, "probability of keeping a healthy request's trace; error/429/slow traces are always kept")
+	traceQueue := fs.Int("trace-queue", 256, "traces buffered between the request path and the export writer; overflow is dropped, never blocking requests")
+	debugRequests := fs.Int("debug-requests", 128, "recent sampled requests kept for /debug/requests (0 = default, negative disables)")
 	runtimeInterval := fs.Duration("runtime-interval", obs.DefaultRuntimeInterval, "runtime health sampling period (goroutines, heap, GC, per-template state); 0 disables")
 	decisionLog := fs.String("decision-log", "", "write sampled per-classification decision records as JSONL to this file (\"-\" = stdout)")
 	decisionSample := fs.Int("decision-sample", 1, "log 1 in N decisions to -decision-log")
@@ -139,11 +155,41 @@ func run(args []string) error {
 		accessW = f
 	}
 
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0, 1], got %g", *traceSample)
+	}
+	// The exporter outlives the server: it closes after the drain below, so
+	// traces of the final in-flight requests still reach the file.
+	var exporter *obs.TraceExporter
+	switch *traceExport {
+	case "":
+	case "-":
+		// Writer-only wrapper: the exporter closes an io.Closer on Close, and
+		// stdout should survive the exporter shutting down.
+		exporter = obs.NewTraceExporter(struct{ io.Writer }{os.Stdout}, *traceQueue)
+	default:
+		f, err := os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening trace export: %w", err)
+		}
+		exporter = obs.NewTraceExporter(f, *traceQueue)
+	}
+	if exporter != nil {
+		defer func() {
+			if err := exporter.Close(); err != nil {
+				slog.Error("closing trace export", "err", err)
+			}
+		}()
+	}
+
 	srv := serve.NewServer(reg, serve.Config{
-		MaxInFlight: *maxInFlight,
-		MaxQueue:    *maxQueue,
-		RetryAfter:  *retryAfter,
-		AccessLog:   accessW,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		RetryAfter:      *retryAfter,
+		AccessLog:       accessW,
+		TraceExporter:   exporter,
+		TraceSampleRate: *traceSample,
+		DebugRequests:   *debugRequests,
 	})
 
 	// Runtime health sampling, with per-template load/drift state riding the

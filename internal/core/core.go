@@ -632,8 +632,14 @@ func (d *Disassembler) DisassembleScoredCtx(ctx context.Context, traces [][]floa
 		failWith error
 	)
 	ctxErr := parallel.ForCtx(ctx, len(traces), func(i int) {
-		dec, dv, err := d.classifyScored(traces[i])
+		// Per-trace fine span: only request tracers (Fine=true) pay for it;
+		// the CLI session tracer and untraced batches skip at the flag check.
+		tsp := span.FineChild("core.classify")
+		tsp.SetAttr("trace", float64(i))
+		dec, dv, err := d.classifyScored(traces[i], tsp)
 		if err != nil {
+			tsp.SetAttr("error", 1)
+			tsp.End()
 			mu.Lock()
 			if i < failIdx {
 				failIdx, failWith = i, err
@@ -641,6 +647,8 @@ func (d *Disassembler) DisassembleScoredCtx(ctx context.Context, traces [][]floa
 			mu.Unlock()
 			return
 		}
+		tsp.SetAttr("confidence", dec.Confidence)
+		tsp.End()
 		out[i] = dec
 		driftVecs[i] = dv
 	})

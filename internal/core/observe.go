@@ -104,20 +104,27 @@ func predictScored(clf ml.Classifier, f []float64) (ml.ScoredPrediction, error) 
 // the same hierarchy walk against the shared raw scalogram, using
 // PredictScored — which returns the exact label Predict would — and
 // accumulating a DecisionLevel per stage.
-func (d *Disassembler) classifyScalogramScored(flat []float64) (Decision, error) {
+func (d *Disassembler) classifyScalogramScored(flat []float64, tsp *obs.SpanHandle) (Decision, error) {
 	return d.classifyExtractScored(func(pl *features.Pipeline) ([]float64, error) {
 		return pl.ExtractFromScalogram(flat)
-	})
+	}, tsp)
 }
 
 // classifyExtractScored is classifyExtract with per-level confidence — the
-// scored twin shared by the full and sparse paths.
-func (d *Disassembler) classifyExtractScored(extract func(*features.Pipeline) ([]float64, error)) (Decision, error) {
+// scored twin shared by the full and sparse paths. tsp, when non-nil, is the
+// per-trace parent span; each hierarchy level records a wall-only child span
+// under it (core.classify.group/instr/rd/rr).
+func (d *Disassembler) classifyExtractScored(extract func(*features.Pipeline) ([]float64, error), tsp *obs.SpanHandle) (Decision, error) {
 	dec := Decision{Confidence: 1, Levels: make([]obs.DecisionLevel, 0, 4)}
 	// post lets a level rewrite its decision before it is recorded — the
 	// group level uses it to restrict routing to trained groups
 	// (remapGroupScored); nil for the other levels.
 	level := func(name string, lvl groupLevel, post func([]float64, ml.ScoredPrediction) ml.ScoredPrediction) (int, error) {
+		var lsp *obs.SpanHandle
+		if tsp != nil {
+			lsp = tsp.Child("core.classify." + name)
+			defer lsp.End()
+		}
 		f, err := extract(lvl.pipe)
 		if err != nil {
 			return 0, fmt.Errorf("core: %s features: %w", name, err)
@@ -129,6 +136,9 @@ func (d *Disassembler) classifyExtractScored(extract func(*features.Pipeline) ([
 		if post != nil {
 			sp = post(f, sp)
 		}
+		lsp.SetAttr("label", float64(sp.Label))
+		lsp.SetAttr("confidence", sp.Confidence)
+		lsp.SetAttr("margin", sp.Margin)
 		dec.Levels = append(dec.Levels, obs.DecisionLevel{
 			Level:      name,
 			Label:      sp.Label,
@@ -186,7 +196,7 @@ func (d *Disassembler) classifyExtractScored(extract func(*features.Pipeline) ([
 // monitor is installed (so drift monitoring costs no extra CWT). It does
 // NOT feed the observer — callers decide between inline (streaming) and
 // serial in-order (batch) feeding.
-func (d *Disassembler) classifyScored(trace []float64) (Decision, []float64, error) {
+func (d *Disassembler) classifyScored(trace []float64, tsp *obs.SpanHandle) (Decision, []float64, error) {
 	if d.group.pipe == nil || d.group.clf == nil {
 		return Decision{}, nil, ErrNotTrained
 	}
@@ -202,14 +212,14 @@ func (d *Disassembler) classifyScored(trace []float64) (Decision, []float64, err
 		met().sparseTraces.Inc()
 		dec, err = d.classifyExtractScored(func(pl *features.Pipeline) ([]float64, error) {
 			return pl.ExtractSparse(trace)
-		})
+		}, tsp)
 	} else {
 		var flat []float64
 		if flat, err = d.group.pipe.RawScalogram(trace); err != nil {
 			met().rejected.Inc()
 			return Decision{}, nil, fmt.Errorf("core: group features: %w", err)
 		}
-		dec, err = d.classifyScalogramScored(flat)
+		dec, err = d.classifyScalogramScored(flat, tsp)
 	}
 	if err != nil {
 		met().rejected.Inc()
@@ -270,7 +280,7 @@ func (d *Disassembler) ObserveTrace(trace []float64) error {
 // feeding the installed observer inline — the streaming path. The label is
 // identical to Classify's on the same trace.
 func (d *Disassembler) ClassifyScored(trace []float64) (Decision, error) {
-	dec, dv, err := d.classifyScored(trace)
+	dec, dv, err := d.classifyScored(trace, nil)
 	if err != nil {
 		return Decision{}, err
 	}

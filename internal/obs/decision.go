@@ -125,6 +125,11 @@ type obsMetrics struct {
 	driftZMax       *Gauge
 	driftAlert      *Gauge
 	driftScoreHist  *Histogram
+
+	traceExported      *Counter
+	traceExportDropped *Counter
+	traceExportErrors  *Counter
+	traceSampledKept   *CounterVec
 }
 
 var obsMetPtr atomic.Pointer[obsMetrics]
@@ -149,6 +154,11 @@ func init() {
 			driftZMax:       r.Gauge("obs.drift.zmax"),
 			driftAlert:      r.Gauge("obs.drift.alert"),
 			driftScoreHist:  r.HistogramWith("obs.drift.score.window", UnitBuckets()),
+
+			traceExported:      r.Counter("obs.trace.exported"),
+			traceExportDropped: r.Counter("obs.trace.export.dropped"),
+			traceExportErrors:  r.Counter("obs.trace.export.errors"),
+			traceSampledKept:   r.CounterVec("obs.trace.sampled", "reason"),
 		})
 	})
 }

@@ -44,6 +44,17 @@ type Histogram struct {
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
 	minBits atomic.Uint64 // float64 bits; valid only when count > 0
 	maxBits atomic.Uint64
+
+	exemplar atomic.Pointer[Exemplar] // most recent traced observation, if any
+}
+
+// Exemplar links one recorded observation to the trace that produced it —
+// the OpenMetrics exemplar concept. The latest traced observation wins;
+// exemplars are debugging breadcrumbs, not statistics, so last-write-wins is
+// exactly the "give me a recent trace for this latency" query they serve.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // NewHistogram builds a histogram with the given layout. Invalid layouts
@@ -106,6 +117,27 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+}
+
+// ObserveWithExemplar records one value and, when traceID is non-empty,
+// remembers it as the histogram's exemplar. One pointer store past Observe —
+// cheap enough for every request once tracing is on. No-op on nil.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != "" && !math.IsNaN(v) && !math.IsInf(v, 0) {
+		h.exemplar.Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// Exemplar returns the most recent traced observation, or nil.
+func (h *Histogram) Exemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.exemplar.Load()
 }
 
 // Count returns the number of observations (0 for nil).
@@ -212,6 +244,10 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// Exemplar carries the most recent traced observation, linking this
+	// series to a concrete trace ID. Omitted when no traced observation was
+	// recorded.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot summarizes the histogram. Zero-valued for nil/empty histograms.
@@ -224,9 +260,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Sum:   h.Sum(),
 		Min:   h.Min(),
 		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+		P50:      h.Quantile(0.50),
+		P95:      h.Quantile(0.95),
+		P99:      h.Quantile(0.99),
+		Exemplar: h.exemplar.Load(),
 	}
 	if s.Count > 0 {
 		s.Mean = s.Sum / float64(s.Count)

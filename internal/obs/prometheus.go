@@ -104,7 +104,15 @@ func writePromSummaryseries(w io.Writer, pn, labels string, h HistogramSnapshot)
 	if labels != "" {
 		labels = "{" + labels + "}"
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", pn, labels, h.Sum, pn, labels, h.Count); err != nil {
+	// The _count line carries the histogram's exemplar in OpenMetrics syntax
+	// (`value # {trace_id="..."} exemplar-value`) when a traced observation
+	// was recorded — classic-format scrapers ignore everything after the
+	// value, OpenMetrics-aware ones link the series to the trace.
+	exemplar := ""
+	if h.Exemplar != nil {
+		exemplar = fmt.Sprintf(" # {trace_id=%q} %g", h.Exemplar.TraceID, h.Exemplar.Value)
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d%s\n", pn, labels, h.Sum, pn, labels, h.Count, exemplar); err != nil {
 		return err
 	}
 	return nil

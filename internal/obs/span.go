@@ -24,6 +24,17 @@ type Tracer struct {
 	dropped atomic.Int64
 	// MaxSpans bounds retained spans; extra spans are counted in Dropped.
 	MaxSpans int
+	// Fine opts the tracer into fine-grained spans (per-trace, per-level
+	// classification) started with SpanHandle.FineChild. Request tracers set
+	// it; the CLI session tracer leaves it off so the end-of-run stage table
+	// stays at stage granularity and batch runs pay nothing per trace.
+	Fine bool
+
+	// W3C trace-context identity (see trace.go): the trace ID every exported
+	// span carries, and the caller's span ID when the request arrived with a
+	// traceparent header. Set once via SetTraceContext before spans start.
+	traceID      TraceID
+	remoteParent SpanID
 }
 
 // NewTracer returns an empty tracer anchored at the current time.
@@ -38,6 +49,11 @@ func (t *Tracer) Dropped() int64 {
 	}
 	return t.dropped.Load()
 }
+
+// Truncated reports whether any span was discarded over the MaxSpans cap —
+// the marker exported traces carry so a missing child reads as "cut off", not
+// "never happened".
+func (t *Tracer) Truncated() bool { return t.Dropped() > 0 }
 
 // Reset discards every recorded span, clears the drop count and re-anchors
 // the tracer at the current time, so one tracer can be reused across many
@@ -145,6 +161,34 @@ func Span(ctx context.Context, name string) (context.Context, *SpanHandle) {
 	return context.WithValue(ctx, spanKey, sp), sp
 }
 
+// Child starts a named span under s without deriving a context — the
+// explicit-parent fast path for callers that already hold the parent handle
+// (per-trace loops where a context.WithValue per iteration would dominate).
+// Wall-clock only: no CPU sampling. Nil-safe: a nil parent yields a nil
+// (no-op) child.
+func (s *SpanHandle) Child(name string) *SpanHandle {
+	if s == nil || s.tracer == nil {
+		return nil
+	}
+	return &SpanHandle{
+		tracer: s.tracer,
+		id:     s.tracer.nextID.Add(1),
+		parent: s.id,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// FineChild is Child gated on the tracer's Fine flag: request tracers get the
+// per-trace span, the CLI session tracer (and any coarse tracer) gets a nil
+// no-op handle and pays only the flag check.
+func (s *SpanHandle) FineChild(name string) *SpanHandle {
+	if s == nil || s.tracer == nil || !s.tracer.Fine {
+		return nil
+	}
+	return s.Child(name)
+}
+
 // End finishes the span, capturing wall and process-CPU time, and records it
 // into the tracer. Safe to call once; extra calls and nil receivers are
 // no-ops.
@@ -153,8 +197,13 @@ func (s *SpanHandle) End() {
 		return
 	}
 	s.wall = time.Since(s.start)
-	if c := processCPUNanos(); c > 0 && s.cpuStart > 0 {
-		s.cpu = time.Duration(c - s.cpuStart)
+	// Fine spans never sampled CPU at start (cpuStart == 0): skip the
+	// getrusage syscall entirely — process-wide CPU is meaningless for a
+	// per-trace span under concurrency, and the syscall dwarfs the span body.
+	if s.cpuStart > 0 {
+		if c := processCPUNanos(); c > 0 {
+			s.cpu = time.Duration(c - s.cpuStart)
+		}
 	}
 	t := s.tracer
 	t.mu.Lock()

@@ -109,14 +109,20 @@ func (a *Admission) Queued() int { return int(a.queue.Load()) }
 //   - ctx.Err() when the context is done before a slot frees up.
 func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	m := admMet()
+	// Request tracing: the wait (including a zero-wait fast-path admit) is a
+	// fine span under the caller's current span, so a traced request's tree
+	// shows exactly how long it sat at the gate. Nil (free) without a fine
+	// tracer in ctx.
+	sp := obs.ContextSpan(ctx).FineChild("parallel.admission.wait")
 	// Fast path: a slot is free right now. The wait histogram records a zero
 	// so its quantiles reflect every admitted request, not just queued ones —
-	// without the cost of a clock read on the uncontended path.
+	// without the cost of a clock read on the uncontended (untraced) path.
 	select {
 	case <-a.slots:
 		m.admitted.Inc()
 		m.inflight.Set(float64(a.InFlight()))
 		m.wait.Observe(0)
+		sp.End()
 		return a.releaseFunc(), nil
 	default:
 	}
@@ -125,12 +131,15 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 		q := a.queue.Load()
 		if int(q) >= a.maxQ {
 			m.rejected.Inc()
+			sp.SetAttr("rejected", 1)
+			sp.End()
 			return nil, ErrOverloaded
 		}
 		if a.queue.CompareAndSwap(q, q+1) {
 			break
 		}
 	}
+	sp.SetAttr("queued.depth", float64(a.Queued()))
 	m.queued.Set(float64(a.Queued()))
 	defer func() {
 		a.queue.Add(-1)
@@ -142,9 +151,12 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 		m.admitted.Inc()
 		m.inflight.Set(float64(a.InFlight()))
 		m.wait.Observe(time.Since(start).Seconds())
+		sp.End()
 		return a.releaseFunc(), nil
 	case <-ctx.Done():
 		m.canceled.Inc()
+		sp.SetAttr("canceled", 1)
+		sp.End()
 		return nil, ctx.Err()
 	}
 }

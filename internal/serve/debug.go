@@ -1,0 +1,155 @@
+package serve
+
+// Debug introspection: /debug/requests is a bounded ring of the most recent
+// tail-sampled requests (trace ID, status, duration, template), the "what
+// just happened" view that needs no exporter or dashboard; /debug/buildinfo
+// answers "what binary is this" from debug.ReadBuildInfo. Both are read-only
+// and cheap, safe to leave enabled in production.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// requestRecord is one /debug/requests entry — the tail-sampled summary of a
+// finished request, pointing at its trace.
+type requestRecord struct {
+	Time      time.Time `json:"time"`
+	TraceID   string    `json:"trace_id"`
+	RequestID string    `json:"request_id"`
+	Route     string    `json:"route"`
+	Template  string    `json:"template,omitempty"`
+	Status    int       `json:"status"`
+	DurMS     float64   `json:"duration_ms"`
+	Reason    string    `json:"sampled"`
+	Spans     int       `json:"spans"`
+	Truncated bool      `json:"truncated,omitempty"`
+	Exported  bool      `json:"exported"`
+}
+
+// requestRing is a fixed-size overwrite-oldest ring of requestRecords. Push
+// is a short critical section (no allocation); snapshot copies out
+// newest-first. A nil ring is a valid no-op (debug ring disabled).
+type requestRing struct {
+	mu   sync.Mutex
+	buf  []requestRecord
+	next int
+	full bool
+}
+
+func newRequestRing(size int) *requestRing {
+	if size <= 0 {
+		return nil
+	}
+	return &requestRing{buf: make([]requestRecord, size)}
+}
+
+func (g *requestRing) push(rec requestRecord) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.buf[g.next] = rec
+	g.next++
+	if g.next == len(g.buf) {
+		g.next, g.full = 0, true
+	}
+	g.mu.Unlock()
+}
+
+// snapshot returns the ring's records newest-first.
+func (g *requestRing) snapshot() []requestRecord {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.next
+	if g.full {
+		n = len(g.buf)
+	}
+	out := make([]requestRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, g.buf[(g.next-i+len(g.buf))%len(g.buf)])
+	}
+	return out
+}
+
+// handleDebugRequests lists the recent sampled requests, newest first — JSON
+// by default, a plain-text table with ?format=text (or an Accept header
+// preferring text/plain).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	recs := s.ring.snapshot()
+	if recs == nil {
+		recs = []requestRecord{}
+	}
+	wantText := r.URL.Query().Get("format") == "text" ||
+		strings.HasPrefix(r.Header.Get("Accept"), "text/plain")
+	if !wantText {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Size     int             `json:"size"`
+			Requests []requestRecord `json:"requests"`
+		}{len(recs), recs})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%-32s %-20s %-12s %-10s %6s %10s %-7s %5s\n",
+		"trace", "request", "route", "template", "status", "duration", "kept", "spans")
+	for _, rec := range recs {
+		dur := fmt.Sprintf("%.1fms", rec.DurMS)
+		trunc := ""
+		if rec.Truncated {
+			trunc = " (truncated)"
+		}
+		fmt.Fprintf(w, "%-32s %-20s %-12s %-10s %6d %10s %-7s %5d%s\n",
+			rec.TraceID, rec.RequestID, rec.Route, rec.Template,
+			rec.Status, dur, rec.Reason, rec.Spans, trunc)
+	}
+}
+
+// handleDebugBuildInfo reports the binary's build identity.
+func (s *Server) handleDebugBuildInfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(obs.CollectBuildInfo())
+}
+
+// buildInfoOnce guards the info-metric registration below against rebinding
+// work piling up — the values are static for the process lifetime, but the
+// OnDefault hook re-fires on every SetDefault, so collect once.
+var buildInfoVal atomic.Pointer[obs.BuildInfo]
+
+func buildInfo() obs.BuildInfo {
+	if b := buildInfoVal.Load(); b != nil {
+		return *b
+	}
+	b := obs.CollectBuildInfo()
+	buildInfoVal.Store(&b)
+	return b
+}
+
+func init() {
+	// scdisd.build.info is the classic info-metric pattern: constant 1 with
+	// the build identity as labels, join-able against any other series. The
+	// same fields /debug/buildinfo and the manifest report.
+	obs.OnDefault(func(r *obs.Registry) {
+		b := buildInfo()
+		version := b.Version
+		if version == "" {
+			version = "unknown"
+		}
+		revision := b.VCSRevision
+		if revision == "" {
+			revision = "unknown"
+		}
+		r.GaugeVec("scdisd.build.info", "go_version", "version", "revision").
+			With(b.GoVersion, version, revision).Set(1)
+	})
+}

@@ -77,6 +77,34 @@ func nextRequestID() string {
 	return fmt.Sprintf("%s-%06d", reqIDNonce, reqIDSeq.Add(1))
 }
 
+// maxRequestIDLen bounds an honored client request ID — long enough for a
+// UUID plus prefix, short enough that a hostile header cannot bloat logs.
+const maxRequestIDLen = 64
+
+// requestID returns the ID for this request and its source: a client-supplied
+// X-Request-Id is honored (truncated to maxRequestIDLen) when every byte is
+// printable non-space ASCII — anything else (empty, control bytes, non-ASCII)
+// falls back to a generated ID so logs stay single-line and grep-safe.
+func requestID(r *http.Request) (id, source string) {
+	c := r.Header.Get("X-Request-Id")
+	if len(c) > maxRequestIDLen {
+		c = c[:maxRequestIDLen]
+	}
+	if c != "" && validRequestID(c) {
+		return c, "client"
+	}
+	return nextRequestID(), "generated"
+}
+
+func validRequestID(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
 // reqStats is the request-scoped record the handler fills in for the
 // middleware to log and label: which template was addressed, how long
 // admission and decode took, how many traces were decoded.
@@ -144,14 +172,47 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 func (c *countingReader) Close() error { return c.r.Close() }
 
-// instrument wraps a route handler with request telemetry and access
-// logging. route is the stable low-cardinality label for the route (the
-// pattern, not the raw path — raw paths would blow the label budget).
+// traceMaxSpans caps one request's retained spans. A 512-span tree is
+// already far past human-readable; the cap exists so a giant batch cannot
+// hold tens of thousands of span structs per in-flight request. Exported
+// traces over the cap carry the truncated marker instead of silently
+// missing children.
+const traceMaxSpans = 512
+
+// instrument wraps a route handler with request telemetry, per-request
+// tracing and access logging. route is the stable low-cardinality label for
+// the route (the pattern, not the raw path — raw paths would blow the label
+// budget).
+//
+// Tracing: every request gets its own fine-grained Tracer carried in the
+// context — W3C trace identity comes from an incoming traceparent header
+// when present (and its sampled flag forces the tail sampler's keep), a
+// fresh random trace ID otherwise; the response echoes a traceparent naming
+// our root span so callers can stitch trees. The keep/drop decision is
+// tail-based: it runs in the deferred recorder when status and duration are
+// known, and a kept trace goes to the debug ring and the async exporter —
+// never blocking the response path.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		m := srvMet()
-		id := nextRequestID()
+		id, idSource := requestID(r)
 		w.Header().Set("X-Request-Id", id)
+
+		// Per-request tracer: trace identity first, so the echoed traceparent
+		// (headers must precede the body) can name the root span.
+		tracer := obs.NewTracer()
+		tracer.Fine = true
+		tracer.MaxSpans = traceMaxSpans
+		forced := r.URL.Query().Get("trace") == "1"
+		traceID, remoteParent := obs.TraceID{}, obs.SpanID{}
+		if tid, pid, sampled, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			traceID, remoteParent = tid, pid
+			forced = forced || sampled
+		}
+		if traceID.IsZero() {
+			traceID = obs.NewTraceID()
+		}
+		tracer.SetTraceContext(traceID, remoteParent)
 
 		st := &reqStats{template: r.PathValue("template")}
 		if st.template == "" {
@@ -160,7 +221,10 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w}
 		cr := &countingReader{r: r.Body}
 		r.Body = cr
-		r = r.WithContext(withReqStats(r.Context(), st))
+		ctx := withReqStats(obs.WithTracer(r.Context(), tracer), st)
+		ctx, root := obs.Span(ctx, "serve.request")
+		w.Header().Set("traceparent", obs.FormatTraceparent(traceID, root.ExportID(), true))
+		r = r.WithContext(ctx)
 
 		m.inflight.Add(1)
 		start := time.Now()
@@ -178,17 +242,55 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				}
 			}
 			code := strconv.Itoa(status)
+			traceHex := traceID.String()
 			m.requests.With(route, st.template, code).Inc()
-			m.latency.With(route, st.template).Observe(elapsed.Seconds())
+			// The latency observation carries the trace ID as an exemplar, so
+			// a latency spike in a dashboard links to a concrete trace.
+			m.latency.With(route, st.template).ObserveWithExemplar(elapsed.Seconds(), traceHex)
 			m.reqBytes.With(route).Observe(float64(cr.n))
 			m.respBytes.With(route).Observe(float64(sw.bytes))
 			if st.sawAdmission {
 				m.admWait.With(st.template).Observe(st.admWaitSecs)
 			}
 			m.inflight.Add(-1)
+
+			root.SetAttr("status", float64(status))
+			root.End()
+			// Tail sampling: the slow rule reads the live decode-latency
+			// histogram, which only decode requests feed — health probes and
+			// metric scrapes would otherwise drag the quantile to microseconds
+			// and mark every decode "slow".
+			sampleDur := elapsed
+			if route == "disassemble" {
+				s.sampleLatency().Observe(elapsed.Seconds())
+			} else {
+				sampleDur = 0
+			}
+			keep, reason := s.sampler.Decide(status, sampleDur, forced)
+			if keep {
+				tr := tracer.Export()
+				tr.Route, tr.Template, tr.Status = route, st.template, status
+				tr.RequestID, tr.Reason = id, reason
+				exported := s.exporter.Export(tr)
+				s.ring.push(requestRecord{
+					Time:      start.UTC(),
+					TraceID:   traceHex,
+					RequestID: id,
+					Route:     route,
+					Template:  st.template,
+					Status:    status,
+					DurMS:     float64(elapsed) / float64(time.Millisecond),
+					Reason:    reason,
+					Spans:     len(tr.Spans),
+					Truncated: tr.Truncated,
+					Exported:  exported,
+				})
+			}
 			if s.access != nil {
 				attrs := []slog.Attr{
 					slog.String("id", id),
+					slog.String("id_source", idSource),
+					slog.String("trace", traceHex),
 					slog.String("route", route),
 					slog.String("method", r.Method),
 					slog.String("path", r.URL.Path),
@@ -207,6 +309,9 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				}
 				if st.decodeSecs > 0 {
 					attrs = append(attrs, slog.Float64("decode_ms", st.decodeSecs*1e3))
+				}
+				if keep {
+					attrs = append(attrs, slog.String("sampled", reason))
 				}
 				if rec != nil {
 					attrs = append(attrs, slog.Bool("aborted", true))

@@ -37,19 +37,37 @@ type Config struct {
 	// (id, route, template, status, sizes, timings). Nil disables access
 	// logging; metrics are recorded either way.
 	AccessLog io.Writer
+	// TraceExporter, when non-nil, receives tail-sampled request traces as
+	// JSONL. The caller owns its lifecycle (Close after the server drains).
+	// Nil disables export; the debug ring still works.
+	TraceExporter *obs.TraceExporter
+	// TraceSampleRate is the probability of keeping a healthy request's
+	// trace, in [0, 1]. Error, shed (429) and slow-percentile traces are
+	// always kept regardless of the rate.
+	TraceSampleRate float64
+	// TraceSampler overrides the tail sampler built from TraceSampleRate —
+	// tests inject one with a controlled latency histogram. Nil builds the
+	// default.
+	TraceSampler *obs.TailSampler
+	// DebugRequests sizes the /debug/requests ring of recent sampled
+	// requests: 0 defaults to 128, negative disables the ring.
+	DebugRequests int
 }
 
 // Server is the HTTP front end over a template Registry: decode requests,
 // registry introspection, health, metrics and admin reload. Build with
 // NewServer, mount via Handler.
 type Server struct {
-	reg    *Registry
-	adm    *parallel.Admission
-	cfg    Config
-	log    *slog.Logger
-	access *slog.Logger // nil when access logging is disabled
-	mux    *http.ServeMux
-	http   *http.Server
+	reg      *Registry
+	adm      *parallel.Admission
+	cfg      Config
+	log      *slog.Logger
+	access   *slog.Logger // nil when access logging is disabled
+	mux      *http.ServeMux
+	http     *http.Server
+	sampler  *obs.TailSampler   // tail-sampling policy; never nil
+	exporter *obs.TraceExporter // nil when trace export is disabled
+	ring     *requestRing       // nil when the debug ring is disabled
 }
 
 // NewServer wires a server around reg. The admission gate is created here:
@@ -71,12 +89,25 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	ringSize := cfg.DebugRequests
+	if ringSize == 0 {
+		ringSize = 128
+	}
 	s := &Server{
-		reg: reg,
-		adm: parallel.NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		cfg: cfg,
-		log: cfg.Logger,
-		mux: http.NewServeMux(),
+		reg:      reg,
+		adm:      parallel.NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		cfg:      cfg,
+		log:      cfg.Logger,
+		mux:      http.NewServeMux(),
+		sampler:  cfg.TraceSampler,
+		exporter: cfg.TraceExporter,
+		ring:     newRequestRing(ringSize),
+	}
+	if s.sampler == nil {
+		// The sampler's slow rule reads a private live latency histogram fed
+		// by decode requests (middleware), not a registry instrument — the
+		// registry handle can be swapped by SetDefault mid-flight.
+		s.sampler = obs.NewTailSampler(cfg.TraceSampleRate, obs.NewHistogram(obs.DurationBuckets()))
 	}
 	if cfg.AccessLog != nil {
 		s.access = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
@@ -94,6 +125,8 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /metrics.json", s.instrument("metrics.json", s.handleMetricsJSON))
 	s.mux.HandleFunc("POST /admin/reload", s.instrument("reload", s.handleReload))
+	s.mux.HandleFunc("GET /debug/requests", s.instrument("debug.requests", s.handleDebugRequests))
+	s.mux.HandleFunc("GET /debug/buildinfo", s.instrument("debug.buildinfo", s.handleDebugBuildInfo))
 	// Built here, not in Serve, so Shutdown from another goroutine never
 	// races the assignment.
 	s.http = &http.Server{
@@ -106,6 +139,16 @@ func NewServer(reg *Registry, cfg Config) *Server {
 // Handler returns the route tree, for mounting under an http.Server or a
 // test server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// sampleLatency returns the live latency histogram the tail sampler's slow
+// rule reads; the middleware feeds it with decode-request durations. May be
+// nil (Observe on a nil histogram is a no-op).
+func (s *Server) sampleLatency() *obs.Histogram {
+	if s.sampler == nil {
+		return nil
+	}
+	return s.sampler.Latency
+}
 
 // ListenAndServe serves on addr until Shutdown. Returns http.ErrServerClosed
 // after a clean shutdown, like the underlying http.Server.
@@ -224,28 +267,30 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	ctx := r.Context()
+	root := obs.ContextSpan(ctx)
+
 	// Materialize inside the admission gate: a v4 template's first decode
 	// faults its matrix sections in here, and section memory is exactly the
 	// kind of burst the gate exists to bound. Gob templates materialized at
 	// load; for them this returns immediately.
+	loadSpan := root.FineChild("serve.template.load")
 	d, err := tpl.disassembler()
+	loadSpan.End()
 	if err != nil {
 		s.writeError(w, http.StatusServiceUnavailable, "template %q unavailable: %v", name, err)
 		return
 	}
 
+	decodeBodySpan := root.FineChild("serve.decode.body")
 	traces, err := readTraces(r, s.cfg.MaxBodyBytes, tpl.traceLen)
+	decodeBodySpan.SetAttr("traces", float64(len(traces)))
+	decodeBodySpan.End()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
-	ctx := r.Context()
-	var tracer *obs.Tracer
-	if r.URL.Query().Get("trace") == "1" {
-		tracer = obs.NewTracer()
-		ctx = obs.WithTracer(ctx, tracer)
-	}
 	decodeStart := time.Now()
 	decs, err := d.DisassembleScoredCtx(ctx, traces)
 	if st := statsFrom(r.Context()); st != nil {
@@ -285,8 +330,11 @@ func (s *Server) handleDisassemble(w http.ResponseWriter, r *http.Request) {
 		m.driftState.With(name).Set(driftStateValue(snap.State))
 		m.driftScore.With(name).Set(snap.Score)
 	}
-	if tracer != nil {
-		resp.Spans = tracer.Tree()
+	if r.URL.Query().Get("trace") == "1" {
+		// The in-band span tree shows the stages recorded so far; the root
+		// middleware span is still open (it ends after this body is written)
+		// so handler-stage spans render at the top level.
+		resp.Spans = obs.TracerFrom(ctx).Tree()
 	}
 	// Marshal before writing: a marshal failure mid-stream would leave the
 	// client a partial 200 no error can follow (writeError refuses to append

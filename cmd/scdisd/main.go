@@ -38,8 +38,8 @@
 // across services. A tail sampler keeps every error/429/slow trace and a
 // -trace-sample fraction of the rest; kept traces land in /debug/requests
 // and, with -trace-export, as JSONL readable by 'scdis trace'. Latency
-// histograms carry the current trace ID as an exemplar in /metrics and
-// /metrics.json.
+// histograms carry the most recent kept trace's ID as an exemplar in
+// /metrics.json (the classic /metrics text format cannot carry exemplars).
 //
 // Backpressure: at most -max-inflight batches decode concurrently and at
 // most -max-queue wait; beyond that the server sheds with 429 and a

@@ -256,10 +256,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		return HistogramSnapshot{}
 	}
 	s := HistogramSnapshot{
-		Count: h.Count(),
-		Sum:   h.Sum(),
-		Min:   h.Min(),
-		Max:   h.Max(),
+		Count:    h.Count(),
+		Sum:      h.Sum(),
+		Min:      h.Min(),
+		Max:      h.Max(),
 		P50:      h.Quantile(0.50),
 		P95:      h.Quantile(0.95),
 		P99:      h.Quantile(0.99),

@@ -186,9 +186,10 @@ func TestPrometheusStableOrdering(t *testing.T) {
 // names, balanced quotes, and a parseable value.
 var (
 	promCommentRe = regexp.MustCompile(`^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*$`)
-	// The optional ` # {...} value` suffix is an OpenMetrics exemplar on a
-	// _count series (histogram exemplars link latency samples to trace IDs).
-	promSampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)( # \{trace_id="[0-9a-f]*"\} -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)?$`)
+	// No trailing tokens after the value: a classic 0.0.4 parser would read
+	// them as a timestamp, so any stray suffix (e.g. exemplar syntax) must
+	// fail this check.
+	promSampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$`)
 )
 
 func checkPromFormat(t *testing.T, out string) {

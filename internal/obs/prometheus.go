@@ -104,15 +104,13 @@ func writePromSummaryseries(w io.Writer, pn, labels string, h HistogramSnapshot)
 	if labels != "" {
 		labels = "{" + labels + "}"
 	}
-	// The _count line carries the histogram's exemplar in OpenMetrics syntax
-	// (`value # {trace_id="..."} exemplar-value`) when a traced observation
-	// was recorded — classic-format scrapers ignore everything after the
-	// value, OpenMetrics-aware ones link the series to the trace.
-	exemplar := ""
-	if h.Exemplar != nil {
-		exemplar = fmt.Sprintf(" # {trace_id=%q} %g", h.Exemplar.TraceID, h.Exemplar.Value)
-	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d%s\n", pn, labels, h.Sum, pn, labels, h.Count, exemplar); err != nil {
+	// Exemplars are deliberately absent from this exposition: the classic
+	// text format (version 0.0.4) parses any token after the value as a
+	// timestamp and fails the scrape on `# {...}`, and OpenMetrics permits
+	// exemplars only on counter-total and histogram-bucket lines — never on
+	// summary series like these. Traced observations remain reachable via
+	// the "exemplar" field in the JSON snapshot (/metrics.json).
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", pn, labels, h.Sum, pn, labels, h.Count); err != nil {
 		return err
 	}
 	return nil

@@ -34,17 +34,17 @@ func TestParseTraceparent(t *testing.T) {
 	invalid := []string{
 		"",
 		"00",
-		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",        // no flags
-		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",     // uppercase
-		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",     // zero trace
-		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",     // zero parent
-		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",     // version ff
-		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-ex",  // v00 with trailer
-		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",     // bad version hex
-		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",     // bad separator
-		"00-4bf92f3577b34da6a3ce929d0e0e473x-00f067aa0ba902b7-01",     // bad trace hex
-		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bx-01",     // bad parent hex
-		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-x1",     // bad flags hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",       // no flags
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",    // uppercase
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",    // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",    // zero parent
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // version ff
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-ex", // v00 with trailer
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // bad version hex
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e473x-00f067aa0ba902b7-01",    // bad trace hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bx-01",    // bad parent hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-x1",    // bad flags hex
 	}
 	for _, h := range invalid {
 		if _, _, _, ok := ParseTraceparent(h); ok {

@@ -82,15 +82,15 @@ func nextRequestID() string {
 const maxRequestIDLen = 64
 
 // requestID returns the ID for this request and its source: a client-supplied
-// X-Request-Id is honored (truncated to maxRequestIDLen) when every byte is
-// printable non-space ASCII — anything else (empty, control bytes, non-ASCII)
-// falls back to a generated ID so logs stay single-line and grep-safe.
+// X-Request-Id is honored verbatim when it is 1..maxRequestIDLen bytes of
+// printable non-space ASCII — anything else (empty, over-long, control bytes,
+// non-ASCII) falls back to a generated ID so logs stay single-line and
+// grep-safe. Over-long IDs are rejected rather than truncated: a truncated
+// echo would no longer match the ID the client logged, and two distinct long
+// IDs could silently collide in the access log.
 func requestID(r *http.Request) (id, source string) {
 	c := r.Header.Get("X-Request-Id")
-	if len(c) > maxRequestIDLen {
-		c = c[:maxRequestIDLen]
-	}
-	if c != "" && validRequestID(c) {
+	if c != "" && len(c) <= maxRequestIDLen && validRequestID(c) {
 		return c, "client"
 	}
 	return nextRequestID(), "generated"
@@ -243,23 +243,16 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			}
 			code := strconv.Itoa(status)
 			traceHex := traceID.String()
-			m.requests.With(route, st.template, code).Inc()
-			// The latency observation carries the trace ID as an exemplar, so
-			// a latency spike in a dashboard links to a concrete trace.
-			m.latency.With(route, st.template).ObserveWithExemplar(elapsed.Seconds(), traceHex)
-			m.reqBytes.With(route).Observe(float64(cr.n))
-			m.respBytes.With(route).Observe(float64(sw.bytes))
-			if st.sawAdmission {
-				m.admWait.With(st.template).Observe(st.admWaitSecs)
-			}
-			m.inflight.Add(-1)
 
 			root.SetAttr("status", float64(status))
 			root.End()
 			// Tail sampling: the slow rule reads the live decode-latency
 			// histogram, which only decode requests feed — health probes and
 			// metric scrapes would otherwise drag the quantile to microseconds
-			// and mark every decode "slow".
+			// and mark every decode "slow". The decision runs before the
+			// metric observations so the latency exemplar can name only kept
+			// traces: a dropped trace is exported nowhere and absent from the
+			// debug ring, so an exemplar pointing at it would dead-end.
 			sampleDur := elapsed
 			if route == "disassemble" {
 				s.sampleLatency().Observe(elapsed.Seconds())
@@ -267,6 +260,20 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				sampleDur = 0
 			}
 			keep, reason := s.sampler.Decide(status, sampleDur, forced)
+
+			m.requests.With(route, st.template, code).Inc()
+			exemplarID := ""
+			if keep {
+				exemplarID = traceHex
+			}
+			m.latency.With(route, st.template).ObserveWithExemplar(elapsed.Seconds(), exemplarID)
+			m.reqBytes.With(route).Observe(float64(cr.n))
+			m.respBytes.With(route).Observe(float64(sw.bytes))
+			if st.sawAdmission {
+				m.admWait.With(st.template).Observe(st.admWaitSecs)
+			}
+			m.inflight.Add(-1)
+
 			if keep {
 				tr := tracer.Export()
 				tr.Route, tr.Template, tr.Status = route, st.template, status

@@ -399,9 +399,12 @@ func TestClientRequestIDHonored(t *testing.T) {
 	if got := send("späcial").Header.Get("X-Request-Id"); strings.Contains(got, "ä") {
 		t.Fatal("non-ASCII ID must not be honored")
 	}
+	// Over-long IDs are rejected wholesale, not truncated: a truncated echo
+	// would no longer match what the client logged, and two long IDs sharing
+	// a prefix would collide in the access log.
 	long := strings.Repeat("x", 200)
-	if got := send(long).Header.Get("X-Request-Id"); len(got) != maxRequestIDLen {
-		t.Fatalf("oversized ID echoed with %d bytes, want truncation to %d", len(got), maxRequestIDLen)
+	if got := send(long).Header.Get("X-Request-Id"); strings.HasPrefix(got, "x") || len(got) > maxRequestIDLen {
+		t.Fatalf("oversized ID must fall back to a generated ID, got %q", got)
 	}
 	if got := send("").Header.Get("X-Request-Id"); got == "" {
 		t.Fatal("no generated ID without a client header")
@@ -422,8 +425,8 @@ func TestClientRequestIDHonored(t *testing.T) {
 	if sources["client-abc.123"] != "client" {
 		t.Fatalf("honored ID source = %q", sources["client-abc.123"])
 	}
-	if sources[long[:maxRequestIDLen]] != "client" {
-		t.Fatal("truncated client ID should still count as client-sourced")
+	if _, ok := sources[long[:maxRequestIDLen]]; ok {
+		t.Fatal("truncated prefix of an oversized client ID must not be logged")
 	}
 	generated := 0
 	for _, src := range sources {
@@ -431,8 +434,8 @@ func TestClientRequestIDHonored(t *testing.T) {
 			generated++
 		}
 	}
-	if generated != 3 { // space, non-ASCII, empty
-		t.Fatalf("generated-source lines = %d, want 3 (%v)", generated, sources)
+	if generated != 4 { // space, non-ASCII, oversized, empty
+		t.Fatalf("generated-source lines = %d, want 4 (%v)", generated, sources)
 	}
 }
 
@@ -554,19 +557,29 @@ func TestDebugBuildInfoAndInfoMetric(t *testing.T) {
 	}
 }
 
-// TestLatencyExemplarsExposed pins the exemplar plumbing end to end: after a
-// decode, the request-latency histogram carries that request's trace ID in
-// both /metrics.json and the Prometheus exposition.
+// TestLatencyExemplarsExposed pins the exemplar plumbing end to end: only a
+// request whose trace the tail sampler keeps leaves its trace ID as the
+// latency histogram's exemplar in /metrics.json — a dropped trace exists
+// nowhere, so an exemplar naming it would dead-end — and the classic
+// Prometheus text exposition never carries exemplar syntax (a 0.0.4 parser
+// reads trailing tokens as a timestamp and fails the scrape).
 func TestLatencyExemplarsExposed(t *testing.T) {
 	obs.SetDefault(obs.NewRegistry())
 	defer obs.SetDefault(nil)
 	_, url := newTestServer(t, RegistryConfig{}, Config{})
 
-	resp, _ := postJSON(t, url+"/v1/disassemble/demo", jsonBody(fx.traces[:1]))
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
+	// Sample rate 0: a plain 200 is dropped and must not set an exemplar.
+	dropped, _ := postJSON(t, url+"/v1/disassemble/demo", jsonBody(fx.traces[:1]))
+	if dropped.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", dropped.StatusCode)
 	}
-	tid, _ := echoedTrace(t, resp)
+	droppedTID, _ := echoedTrace(t, dropped)
+
+	forced, _ := postJSON(t, url+"/v1/disassemble/demo?trace=1", jsonBody(fx.traces[:1]))
+	if forced.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", forced.StatusCode)
+	}
+	tid, _ := echoedTrace(t, forced)
 
 	rj, err := http.Get(url + "/metrics.json")
 	if err != nil {
@@ -580,7 +593,10 @@ func TestLatencyExemplarsExposed(t *testing.T) {
 	// The snapshot is indented JSON; match the exemplar's trace_id field.
 	if !strings.Contains(string(jbody), `"exemplar"`) ||
 		!strings.Contains(string(jbody), `"trace_id": "`+tid+`"`) {
-		t.Fatalf("/metrics.json missing exemplar for trace %s", tid)
+		t.Fatalf("/metrics.json missing exemplar for kept trace %s", tid)
+	}
+	if strings.Contains(string(jbody), droppedTID) {
+		t.Fatalf("/metrics.json names dropped trace %s", droppedTID)
 	}
 
 	rm, err := http.Get(url + "/metrics")
@@ -592,8 +608,7 @@ func TestLatencyExemplarsExposed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `# {trace_id="` + tid + `"}`
-	if !strings.Contains(string(mbody2), want) {
-		t.Fatalf("/metrics missing exemplar %q", want)
+	if out := string(mbody2); strings.Contains(out, "# {") || strings.Contains(out, "trace_id") {
+		t.Fatal("/metrics text exposition carries exemplar syntax")
 	}
 }
